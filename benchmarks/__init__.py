@@ -1,0 +1,1 @@
+"""pytest-benchmark suites regenerating every table and figure of the paper."""

@@ -1,0 +1,80 @@
+"""Benchmarks regenerating Table 5: sparse datasets (KONECT stand-ins).
+
+Per-dataset benchmarks time ``hbvMBB`` on a representative subset of the 30
+stand-ins, comparison benchmarks time the strongest baseline (``adp3``) and
+``extBBCl`` on a smaller subset, and the reporting test runs the full
+30-dataset table and prints it.
+
+Expected shape (matching the paper): ``hbvMBB`` is the fastest algorithm on
+every dataset, terminates at step S1 or S2 on a substantial fraction of
+them, and never hits the time budget; ``extBBCl`` does on the tough ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.adapted import run_adapted_baseline
+from repro.baselines.extbbclq import ext_bbclq
+from repro.bench.table5 import format_table5, run_table5
+from repro.mbb.sparse import SparseConfig, hbv_mbb
+from repro.workloads.datasets import DATASETS, load_dataset
+
+#: Subset used for the per-dataset timing benchmarks (small / medium / tough).
+BENCH_DATASETS = (
+    "unicodelang",
+    "opsahl-ucforum",
+    "jester",
+    "github",
+    "discogs-style",
+    "dblp-author",
+)
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("dataset", BENCH_DATASETS)
+def test_hbv_mbb_dataset(benchmark, dataset):
+    """Time the full sparse framework on one dataset stand-in."""
+    graph = load_dataset(dataset)
+
+    result = benchmark(lambda: hbv_mbb(graph, config=SparseConfig(time_budget=30.0)))
+    assert result.optimal
+    assert result.biclique.is_valid_in(graph)
+    assert result.side_size >= DATASETS[dataset].planted_size
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("dataset", ("unicodelang", "jester"))
+def test_adp3_dataset(benchmark, dataset, bench_time_budget):
+    """Time the strongest adapted baseline (SBMNAS + FMBE) for comparison."""
+    graph = load_dataset(dataset)
+
+    result = benchmark(
+        lambda: run_adapted_baseline(graph, "adp3", time_budget=bench_time_budget)
+    )
+    assert result.biclique.is_valid_in(graph)
+
+
+@pytest.mark.table
+@pytest.mark.parametrize("dataset", ("unicodelang", "jester"))
+def test_ext_bbclq_dataset(benchmark, dataset, bench_time_budget):
+    """Time the ExtBBClq baseline for comparison (may hit the budget)."""
+    graph = load_dataset(dataset)
+
+    result = benchmark(lambda: ext_bbclq(graph, time_budget=bench_time_budget))
+    assert result.biclique.is_valid_in(graph)
+
+
+@pytest.mark.table
+def test_report_table5(benchmark, capsys):
+    """Regenerate and print the full 30-dataset Table 5."""
+    rows = benchmark.pedantic(lambda: run_table5(time_budget=5.0), rounds=1, iterations=1)
+    # hbvMBB must prove optimality on every dataset within the budget.
+    assert all(row["hbvMBB"] != "-" for row in rows)
+    # A substantial fraction of datasets terminate before the exhaustive step,
+    # mirroring the paper's observation (14 of 30 at S1/S2).
+    early = sum(1 for row in rows if row["step"] in ("S1", "S2"))
+    assert early >= len(rows) // 4
+    with capsys.disabled():
+        print("\n=== Table 5 (stand-ins): running time in seconds ===")
+        print(format_table5(rows))

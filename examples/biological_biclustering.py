@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Biological biclustering: a maximum balanced biclique as an exact bicluster.
+
+The sparse-graph application from the paper: gene-condition (or
+protein-protein interaction) data forms a large sparse bipartite graph, and
+a balanced biclique is a bicluster — a set of genes that all respond to the
+same set of conditions.  The example builds a synthetic expression dataset
+with an embedded co-expression module and recovers it exactly with the
+sparse framework ``hbvMBB``, showing which stage of the framework finished
+the job.
+
+Run with::
+
+    python examples/biological_biclustering.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import SparseConfig, bidegeneracy, hbv_mbb
+from repro.workloads.synthetic import sparse_synthetic_graph
+
+NUM_GENES = 900
+NUM_CONDITIONS = 300
+MODULE_SIZE = 9  # the embedded co-expression module (genes x conditions)
+
+
+def main() -> None:
+    # Gene-condition incidence: an edge means the gene is differentially
+    # expressed under that condition.  Real expression data is heavy-tailed;
+    # the generator mimics that and embeds a MODULE_SIZE^2 co-expression
+    # module on the hub genes/conditions.
+    data = sparse_synthetic_graph(
+        NUM_GENES,
+        NUM_CONDITIONS,
+        avg_degree=3.0,
+        planted_size=MODULE_SIZE,
+        seed=7,
+    )
+    print(
+        f"expression graph: {NUM_GENES} genes x {NUM_CONDITIONS} conditions, "
+        f"{data.num_edges} associations (density {data.density:.5f})"
+    )
+    print(f"bidegeneracy δ̈ = {bidegeneracy(data)} "
+          f"(the exhaustive search is confined to subgraphs of this size)")
+
+    started = time.perf_counter()
+    result = hbv_mbb(data, config=SparseConfig(time_budget=60.0))
+    elapsed = time.perf_counter() - started
+
+    print()
+    print(f"maximum balanced bicluster: {result.side_size} genes x "
+          f"{result.side_size} conditions")
+    print(f"  solved in {elapsed:.3f}s, terminated at step {result.terminated_at} "
+          f"(S1 = heuristic, S2 = bridging, S3 = verification)")
+    print(f"  genes     : {sorted(result.biclique.left)}")
+    print(f"  conditions: {sorted(result.biclique.right)}")
+    print(f"  heuristic incumbent side: {result.stats.heuristic_side}")
+    print(f"  vertex-centred subgraphs generated / pruned: "
+          f"{result.stats.subgraphs_generated} / {result.stats.subgraphs_pruned}")
+
+    assert result.biclique.is_valid_in(data)
+    assert result.side_size >= MODULE_SIZE, "the planted module must be recovered"
+
+
+if __name__ == "__main__":
+    main()

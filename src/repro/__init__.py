@@ -1,0 +1,95 @@
+"""repro — exact maximum balanced biclique search in bipartite graphs.
+
+A from-scratch Python reproduction of
+
+    Lu Chen, Chengfei Liu, Rui Zhou, Jiajie Xu, Jianxin Li.
+    "Efficient Exact Algorithms for Maximum Balanced Biclique Search in
+    Bipartite Graphs." PVLDB / SIGMOD 2021 (arXiv:2007.08836).
+
+Quickstart
+----------
+>>> from repro import BipartiteGraph, solve_mbb
+>>> graph = BipartiteGraph(edges=[(0, "x"), (0, "y"), (1, "x"), (1, "y"), (2, "y")])
+>>> result = solve_mbb(graph)
+>>> result.side_size
+2
+>>> sorted(result.biclique.left), sorted(result.biclique.right)
+([0, 1], ['x', 'y'])
+
+The package is organised as:
+
+* :mod:`repro.graph` — the bipartite graph substrate and generators;
+* :mod:`repro.cores` — core/bicore decompositions and search orders;
+* :mod:`repro.mbb` — the paper's algorithms (denseMBB, hbvMBB, ...);
+* :mod:`repro.baselines` — ExtBBClq, adapted MBE engines, local search,
+  the brute-force oracle and the polynomial MVB solver;
+* :mod:`repro.workloads` — synthetic workloads and KONECT stand-ins;
+* :mod:`repro.analysis` / :mod:`repro.bench` — the evaluation harness that
+  regenerates every table and figure of the paper.
+"""
+
+from repro.exceptions import (
+    BudgetExceededError,
+    DatasetError,
+    GraphError,
+    InvalidParameterError,
+    ReproError,
+    SolverError,
+)
+from repro.graph import LEFT, RIGHT, BipartiteGraph, bipartite_complement
+from repro.cores import (
+    bicore_numbers,
+    bidegeneracy,
+    bidegeneracy_order,
+    core_numbers,
+    degeneracy,
+    degeneracy_order,
+    k_core,
+)
+from repro.mbb import (
+    Biclique,
+    MBBResult,
+    SparseConfig,
+    basic_bb,
+    dense_mbb,
+    hbv_mbb,
+    maximum_balanced_biclique,
+    solve_mbb,
+    sparse_mbb,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "BipartiteGraph",
+    "LEFT",
+    "RIGHT",
+    "bipartite_complement",
+    # sparsity machinery
+    "core_numbers",
+    "degeneracy",
+    "degeneracy_order",
+    "k_core",
+    "bicore_numbers",
+    "bidegeneracy",
+    "bidegeneracy_order",
+    # solvers
+    "Biclique",
+    "MBBResult",
+    "SparseConfig",
+    "solve_mbb",
+    "maximum_balanced_biclique",
+    "dense_mbb",
+    "hbv_mbb",
+    "sparse_mbb",
+    "basic_bb",
+    # exceptions
+    "ReproError",
+    "GraphError",
+    "SolverError",
+    "InvalidParameterError",
+    "BudgetExceededError",
+    "DatasetError",
+]

@@ -1,0 +1,15 @@
+"""Measurement helpers behind the paper's breakdown figures (4, 5, 6)."""
+
+from repro.analysis.metrics import (
+    average_subgraph_density,
+    heuristic_gaps,
+    search_depth_ratio,
+    subgraph_size_totals,
+)
+
+__all__ = [
+    "average_subgraph_density",
+    "heuristic_gaps",
+    "search_depth_ratio",
+    "subgraph_size_totals",
+]

@@ -1,0 +1,35 @@
+"""Baseline algorithms the paper compares against (and test oracles).
+
+* :mod:`~repro.baselines.brute_force` — independent exhaustive oracle used
+  by the test suite.
+* :mod:`~repro.baselines.extbbclq` — the state-of-the-art exact baseline
+  ExtBBClq (Zhou, Rossi and Hao, 2018).
+* :mod:`~repro.baselines.mbe` — adapted maximal-biclique-enumeration
+  engines (iMBEA- and FMBE-style) used inside the ``adp*`` baselines.
+* :mod:`~repro.baselines.local_search` — POLS- and SBMNAS-style heuristics.
+* :mod:`~repro.baselines.adapted` — the non-trivial baselines ``adp1`` to
+  ``adp4`` assembled from the pieces above.
+* :mod:`~repro.baselines.mvb` — the polynomial maximum *vertex* biclique
+  solver (König / Hopcroft-Karp), a useful upper bound and sanity check.
+"""
+
+from repro.baselines.brute_force import brute_force_mbb, brute_force_side_size
+from repro.baselines.extbbclq import ext_bbclq
+from repro.baselines.mbe import adapted_fmbe, adapted_imbea
+from repro.baselines.local_search import pols, sbmnas
+from repro.baselines.adapted import ADAPTED_BASELINES, run_adapted_baseline
+from repro.baselines.mvb import hopcroft_karp_matching, maximum_vertex_biclique
+
+__all__ = [
+    "brute_force_mbb",
+    "brute_force_side_size",
+    "ext_bbclq",
+    "adapted_imbea",
+    "adapted_fmbe",
+    "pols",
+    "sbmnas",
+    "ADAPTED_BASELINES",
+    "run_adapted_baseline",
+    "maximum_vertex_biclique",
+    "hopcroft_karp_matching",
+]

@@ -1,0 +1,125 @@
+"""Maximum *vertex* biclique via König's theorem (related work, §7).
+
+Unlike the balanced variant, maximising ``|A| + |B|`` without the balance
+constraint is polynomial: a biclique of ``G`` is an independent set of the
+bipartite complement ``G̅`` (within-side pairs are never edges, cross pairs
+of the biclique are non-edges of ``G̅``), and by König's theorem a maximum
+independent set of a bipartite graph has size ``|V| - maximum matching``.
+
+The module ships a self-contained Hopcroft–Karp matching implementation and
+uses it both to solve the MVB problem and to derive the classic
+``2 * MBB_side <= MVB_total`` sanity bound exploited by the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set, Tuple
+
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.complement import bipartite_complement
+from repro.mbb.result import Biclique
+
+_INFINITY = float("inf")
+
+
+def hopcroft_karp_matching(graph: BipartiteGraph) -> Dict[Vertex, Vertex]:
+    """Maximum matching of a bipartite graph as a left -> right mapping.
+
+    Runs in ``O(E * sqrt(V))`` using the Hopcroft–Karp layered BFS / DFS
+    phases.  Only the left-to-right half of the matching is returned; the
+    reverse direction is implied.
+    """
+    match_left: Dict[Vertex, Optional[Vertex]] = {u: None for u in graph.left_vertices()}
+    match_right: Dict[Vertex, Optional[Vertex]] = {v: None for v in graph.right_vertices()}
+    distance: Dict[Vertex, float] = {}
+
+    def bfs() -> bool:
+        queue = deque()
+        for u in match_left:
+            if match_left[u] is None:
+                distance[u] = 0
+                queue.append(u)
+            else:
+                distance[u] = _INFINITY
+        found_augmenting = False
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors_left(u):
+                partner = match_right[v]
+                if partner is None:
+                    found_augmenting = True
+                elif distance[partner] == _INFINITY:
+                    distance[partner] = distance[u] + 1
+                    queue.append(partner)
+        return found_augmenting
+
+    def dfs(u: Vertex) -> bool:
+        for v in graph.neighbors_left(u):
+            partner = match_right[v]
+            if partner is None or (
+                distance[partner] == distance[u] + 1 and dfs(partner)
+            ):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        distance[u] = _INFINITY
+        return False
+
+    while bfs():
+        for u in list(match_left):
+            if match_left[u] is None:
+                dfs(u)
+    return {u: v for u, v in match_left.items() if v is not None}
+
+
+def minimum_vertex_cover(graph: BipartiteGraph) -> Tuple[Set[Vertex], Set[Vertex]]:
+    """Minimum vertex cover ``(left_cover, right_cover)`` via König's theorem.
+
+    Starting from unmatched left vertices, alternate unmatched/matched
+    edges; the cover is (left vertices not reached) ∪ (right vertices
+    reached).
+    """
+    matching = hopcroft_karp_matching(graph)
+    matched_right_to_left = {v: u for u, v in matching.items()}
+    reached_left: Set[Vertex] = {
+        u for u in graph.left_vertices() if u not in matching
+    }
+    reached_right: Set[Vertex] = set()
+    frontier = list(reached_left)
+    while frontier:
+        next_frontier = []
+        for u in frontier:
+            for v in graph.neighbors_left(u):
+                if v in reached_right:
+                    continue
+                if matching.get(u) == v:
+                    continue  # only travel unmatched edges left -> right
+                reached_right.add(v)
+                partner = matched_right_to_left.get(v)
+                if partner is not None and partner not in reached_left:
+                    reached_left.add(partner)
+                    next_frontier.append(partner)
+        frontier = next_frontier
+    left_cover = set(graph.left) - reached_left
+    right_cover = reached_right
+    return left_cover, right_cover
+
+
+def maximum_vertex_biclique(graph: BipartiteGraph) -> Biclique:
+    """Maximum vertex biclique (maximising ``|A| + |B|``, no balance).
+
+    Computed as a maximum independent set of the bipartite complement: the
+    complement's minimum vertex cover is removed from the vertex set and
+    the remainder forms the biclique.
+    """
+    complement = bipartite_complement(graph)
+    left_cover, right_cover = minimum_vertex_cover(complement)
+    left = graph.left - left_cover
+    right = graph.right - right_cover
+    return Biclique.of(left, right)
+
+
+def mvb_total_size(graph: BipartiteGraph) -> int:
+    """``|A| + |B|`` of the maximum vertex biclique (an MBB upper bound)."""
+    return maximum_vertex_biclique(graph).total_size

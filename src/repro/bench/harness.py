@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark harness: timing and table rendering."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+
+def timed(function: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Call ``function`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = function(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell: floats get three significant decimals."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if value >= 100:
+            return f"{value:.1f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Iterable[str] | None = None) -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    columns = list(columns)
+    rendered: List[List[str]] = [[format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]], columns: Iterable[str] | None = None) -> str:
+    """Render rows as CSV text (used to archive results in EXPERIMENTS.md)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    columns = list(columns)
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(format_cell(row.get(col, "")) for col in columns))
+    return "\n".join(lines)

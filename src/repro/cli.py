@@ -1,0 +1,165 @@
+"""Command-line interface for the library.
+
+The CLI covers the everyday workflows of a downstream user without writing
+any Python:
+
+* ``repro-mbb solve`` — load an edge list (or generate a random graph) and
+  print its maximum balanced biclique;
+* ``repro-mbb generate`` — write a synthetic bipartite graph to an edge list;
+* ``repro-mbb datasets`` — list the built-in KONECT stand-ins;
+* ``repro-mbb bench`` — regenerate one of the paper's tables or figures.
+
+Every command prints plain text to stdout and returns a conventional exit
+code, so the CLI composes with shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.exceptions import ReproError
+from repro.graph.generators import random_bipartite, random_power_law_bipartite
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.mbb.solver import METHOD_AUTO, solve_mbb
+from repro.workloads.datasets import DATASETS, load_dataset
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mbb",
+        description="Exact maximum balanced biclique search in bipartite graphs "
+        "(reproduction of Chen et al., PVLDB 2021).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="solve the MBB problem on a graph")
+    source = solve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", help="edge-list file (KONECT-style, 'left right' per line)")
+    source.add_argument("--dataset", help="name of a built-in dataset stand-in")
+    solve.add_argument(
+        "--method",
+        default=METHOD_AUTO,
+        choices=["auto", "dense", "sparse", "basic"],
+        help="solver to use (default: auto)",
+    )
+    solve.add_argument("--time-budget", type=float, default=None, help="seconds before giving up")
+    solve.add_argument("--show-vertices", action="store_true", help="print the biclique's vertices")
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic bipartite graph")
+    generate.add_argument("output", help="edge-list file to write")
+    generate.add_argument("--left", type=int, required=True, help="number of left vertices")
+    generate.add_argument("--right", type=int, required=True, help="number of right vertices")
+    generate.add_argument("--density", type=float, default=None, help="uniform edge density")
+    generate.add_argument(
+        "--avg-degree", type=float, default=None, help="power-law average degree (sparse model)"
+    )
+    generate.add_argument("--seed", type=int, default=0, help="random seed")
+
+    subparsers.add_parser("datasets", help="list the built-in KONECT stand-ins")
+
+    bench = subparsers.add_parser("bench", help="regenerate a paper table or figure")
+    bench.add_argument(
+        "artefact",
+        choices=["table4", "table5", "table6", "figure4", "figure5", "figure6"],
+        help="which table/figure to regenerate",
+    )
+    bench.add_argument("--time-budget", type=float, default=5.0, help="per-run budget in seconds")
+    return parser
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    if args.dataset:
+        graph = load_dataset(args.dataset)
+        label = f"dataset stand-in {args.dataset!r}"
+    else:
+        graph = read_edge_list(args.input)
+        label = args.input
+    print(f"loaded {label}: |L|={graph.num_left} |R|={graph.num_right} |E|={graph.num_edges}")
+    result = solve_mbb(graph, method=args.method, time_budget=args.time_budget)
+    status = "optimal" if result.optimal else "best effort (budget exhausted)"
+    print(f"maximum balanced biclique side size: {result.side_size} ({status})")
+    if result.terminated_at:
+        print(f"terminated at step {result.terminated_at}")
+    print(f"search nodes: {result.stats.nodes}, elapsed: {result.elapsed_seconds:.3f}s")
+    if args.show_vertices:
+        print(f"left : {sorted(result.biclique.left, key=repr)}")
+        print(f"right: {sorted(result.biclique.right, key=repr)}")
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    if (args.density is None) == (args.avg_degree is None):
+        print("error: provide exactly one of --density or --avg-degree", file=sys.stderr)
+        return 2
+    if args.density is not None:
+        graph = random_bipartite(args.left, args.right, args.density, seed=args.seed)
+    else:
+        graph = random_power_law_bipartite(
+            args.left, args.right, args.avg_degree, seed=args.seed
+        )
+    write_edge_list(graph, args.output)
+    print(
+        f"wrote {args.output}: |L|={graph.num_left} |R|={graph.num_right} "
+        f"|E|={graph.num_edges} (density {graph.density:.5f})"
+    )
+    return 0
+
+
+def _command_datasets(_: argparse.Namespace) -> int:
+    header = f"{'name':<28}{'|L|':>7}{'|R|':>7}{'planted':>9}  {'paper |L|':>10}{'paper |R|':>10}{'paper opt':>10}"
+    print(header)
+    print("-" * len(header))
+    for name, spec in DATASETS.items():
+        tough = " *" if spec.tough else ""
+        print(
+            f"{name + tough:<28}{spec.n_left:>7}{spec.n_right:>7}{spec.planted_size:>9}  "
+            f"{spec.paper_left:>10}{spec.paper_right:>10}{spec.paper_optimum:>10}"
+        )
+    print("\n(* = tough dataset used by Table 6 and Figures 4-6)")
+    return 0
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from repro.bench import figure4, figure5, figure6, table4, table5, table6
+
+    budget = args.time_budget
+    if args.artefact == "table4":
+        print(table4.format_table4(table4.run_table4(time_budget=budget, instances=1)))
+    elif args.artefact == "table5":
+        print(table5.format_table5(table5.run_table5(time_budget=budget)))
+    elif args.artefact == "table6":
+        print(table6.format_table6(table6.run_table6(time_budget=budget)))
+    elif args.artefact == "figure4":
+        print(figure4.format_figure4(figure4.run_figure4(time_budget=budget)))
+    elif args.artefact == "figure5":
+        print(figure5.format_figure5(figure5.run_figure5(time_budget=budget)))
+    else:
+        print(figure6.format_figure6(figure6.run_figure6()))
+    return 0
+
+
+_COMMANDS = {
+    "solve": _command_solve,
+    "generate": _command_generate,
+    "datasets": _command_datasets,
+    "bench": _command_bench,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the ``repro-mbb`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

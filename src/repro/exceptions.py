@@ -1,0 +1,68 @@
+"""Exception hierarchy shared by every subpackage of :mod:`repro`.
+
+Keeping the exceptions in a single module lets callers catch a single base
+class (:class:`ReproError`) regardless of which subsystem raised the error,
+while still being able to discriminate on the concrete subclass when they
+need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors raised by the bipartite graph substrate."""
+
+
+class VertexNotFoundError(GraphError, KeyError):
+    """A vertex referenced by the caller does not exist in the graph."""
+
+    def __init__(self, side: str, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} not present on side {side!r}")
+        self.side = side
+        self.vertex = vertex
+
+
+class DuplicateVertexError(GraphError, ValueError):
+    """A vertex was added twice to the same side of a bipartite graph."""
+
+    def __init__(self, side: str, vertex: object) -> None:
+        super().__init__(f"vertex {vertex!r} already present on side {side!r}")
+        self.side = side
+        self.vertex = vertex
+
+
+class InvalidEdgeError(GraphError, ValueError):
+    """An edge references a missing endpoint or violates bipartiteness."""
+
+
+class GraphFormatError(GraphError, ValueError):
+    """A graph file or textual description could not be parsed."""
+
+
+class SolverError(ReproError):
+    """Base class for errors raised by MBB solvers."""
+
+
+class InvalidParameterError(SolverError, ValueError):
+    """A solver or generator parameter is outside its valid range."""
+
+
+class BudgetExceededError(SolverError):
+    """An exact solver exhausted its node or time budget.
+
+    The exception carries the best (possibly sub-optimal) result found so
+    far so that benchmark harnesses can still report progress for runs that
+    hit their cut-off, mirroring the 4-hour timeout rows in the paper.
+    """
+
+    def __init__(self, message: str, best=None) -> None:
+        super().__init__(message)
+        self.best = best
+
+
+class DatasetError(ReproError):
+    """A named workload or dataset stand-in could not be produced."""

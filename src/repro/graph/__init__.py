@@ -1,0 +1,27 @@
+"""Bipartite graph substrate used by every algorithm in the library.
+
+The public surface of this package is:
+
+* :class:`~repro.graph.bipartite.BipartiteGraph` — mutable adjacency-set
+  bipartite graph with independent left/right label spaces.
+* :func:`~repro.graph.complement.bipartite_complement` — the bipartite
+  complement used by the polynomial-case solver.
+* :mod:`~repro.graph.generators` — random and structured graph generators.
+* :mod:`~repro.graph.io` — edge-list and biadjacency-matrix I/O.
+* :mod:`~repro.graph.validation` — structural validators shared by tests.
+"""
+
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.complement import bipartite_complement, complement_density
+from repro.graph import generators, io, validation
+
+__all__ = [
+    "LEFT",
+    "RIGHT",
+    "BipartiteGraph",
+    "bipartite_complement",
+    "complement_density",
+    "generators",
+    "io",
+    "validation",
+]

@@ -1,0 +1,73 @@
+"""Bipartite complement graphs.
+
+The polynomial case of the paper (Observations 1-3, Lemma 3) reasons about
+the *bipartite complement* ``G̅ = (L, R, L×R \\ E)``: when every vertex of a
+subgraph misses at most two neighbours on the other side, the complement has
+maximum degree at most two and therefore decomposes into paths and cycles.
+This module provides the complement construction plus small helpers used by
+that solver and by tests.
+"""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import BipartiteGraph
+
+
+def bipartite_complement(graph: BipartiteGraph) -> BipartiteGraph:
+    """Return the bipartite complement of ``graph``.
+
+    The complement keeps both vertex sides intact (including isolated
+    vertices) and contains the edge ``(u, v)`` exactly when ``graph`` does
+    not.
+
+    Notes
+    -----
+    The construction is ``O(|L| * |R|)`` which is the size of the output.
+    The dense-graph solver only complements subgraphs that already fit in
+    memory as near-complete bicliques, so this is never the bottleneck.
+    """
+    complement = BipartiteGraph(left=graph.left, right=graph.right)
+    right_all = graph.right
+    for u in graph.left_vertices():
+        missing = right_all - graph.neighbors_left(u)
+        for v in missing:
+            complement.add_edge(u, v)
+    return complement
+
+
+def complement_density(graph: BipartiteGraph) -> float:
+    """Density of the bipartite complement, ``1 - density(graph)``.
+
+    Returns ``0.0`` when a side is empty, mirroring
+    :attr:`BipartiteGraph.density`.
+    """
+    if graph.num_left == 0 or graph.num_right == 0:
+        return 0.0
+    return 1.0 - graph.density
+
+
+def missing_degree_left(graph: BipartiteGraph, u) -> int:
+    """Number of right-side vertices *not* adjacent to the left vertex ``u``."""
+    return graph.num_right - graph.degree_left(u)
+
+
+def missing_degree_right(graph: BipartiteGraph, v) -> int:
+    """Number of left-side vertices *not* adjacent to the right vertex ``v``."""
+    return graph.num_left - graph.degree_right(v)
+
+
+def max_missing_degree(graph: BipartiteGraph) -> int:
+    """Maximum number of missing neighbours over all vertices.
+
+    This is exactly the maximum degree of the bipartite complement and is
+    the quantity Lemma 3 compares against two: a subgraph is polynomially
+    solvable when ``max_missing_degree(H) <= 2``.
+    """
+    worst = 0
+    num_right = graph.num_right
+    for u in graph.left_vertices():
+        worst = max(worst, num_right - graph.degree_left(u))
+    num_left = graph.num_left
+    for v in graph.right_vertices():
+        worst = max(worst, num_left - graph.degree_right(v))
+    return worst

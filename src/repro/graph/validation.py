@@ -1,0 +1,108 @@
+"""Structural validators for bipartite graphs and bicliques.
+
+These checks back the library's property-based tests and are also exposed
+publicly so downstream users can assert invariants on graphs they build by
+hand (a common source of silent bugs when biadjacency data is transposed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.bipartite import BipartiteGraph, Vertex
+
+
+def check_consistent(graph: BipartiteGraph) -> None:
+    """Raise :class:`GraphError` if the two adjacency maps disagree.
+
+    The invariant is that ``v in neighbors_left(u)`` holds exactly when
+    ``u in neighbors_right(v)``, and that the cached edge count matches the
+    number of stored pairs.
+    """
+    forward = 0
+    for u in graph.left_vertices():
+        for v in graph.neighbors_left(u):
+            forward += 1
+            if not graph.has_right_vertex(v):
+                raise GraphError(f"edge ({u!r}, {v!r}) points to a missing right vertex")
+            if u not in graph.neighbors_right(v):
+                raise GraphError(f"edge ({u!r}, {v!r}) missing from the right adjacency")
+    backward = sum(graph.degree_right(v) for v in graph.right_vertices())
+    if forward != backward:
+        raise GraphError(
+            f"adjacency maps disagree: {forward} forward edges vs {backward} backward"
+        )
+    if forward != graph.num_edges:
+        raise GraphError(
+            f"cached edge count {graph.num_edges} != stored edges {forward}"
+        )
+
+
+def is_biclique(
+    graph: BipartiteGraph,
+    left: Iterable[Vertex],
+    right: Iterable[Vertex],
+) -> bool:
+    """Return ``True`` if every pair in ``left x right`` is an edge of ``graph``.
+
+    Vertices must exist on their respective sides; a missing vertex makes
+    the answer ``False`` rather than raising, because solvers use this as a
+    cheap post-hoc verification step.
+    """
+    left_list = list(left)
+    right_list = list(right)
+    for u in left_list:
+        if not graph.has_left_vertex(u):
+            return False
+    for v in right_list:
+        if not graph.has_right_vertex(v):
+            return False
+    for u in left_list:
+        neighbours = graph.neighbors_left(u)
+        for v in right_list:
+            if v not in neighbours:
+                return False
+    return True
+
+
+def is_balanced_biclique(
+    graph: BipartiteGraph,
+    left: Iterable[Vertex],
+    right: Iterable[Vertex],
+) -> bool:
+    """Return ``True`` for a biclique whose two sides have equal size."""
+    left_list = list(left)
+    right_list = list(right)
+    return len(left_list) == len(right_list) and is_biclique(graph, left_list, right_list)
+
+
+def assert_valid_biclique(
+    graph: BipartiteGraph,
+    left: Iterable[Vertex],
+    right: Iterable[Vertex],
+    *,
+    balanced: bool = True,
+) -> None:
+    """Raise :class:`GraphError` unless ``(left, right)`` is a (balanced) biclique."""
+    left_list = list(left)
+    right_list = list(right)
+    if balanced and len(left_list) != len(right_list):
+        raise GraphError(
+            f"biclique is not balanced: |A|={len(left_list)} |B|={len(right_list)}"
+        )
+    if not is_biclique(graph, left_list, right_list):
+        raise GraphError("vertex sets do not induce a biclique")
+
+
+def degree_histogram(graph: BipartiteGraph) -> Tuple[dict, dict]:
+    """Return ``(left_histogram, right_histogram)`` mapping degree -> count."""
+    left_hist: dict = {}
+    right_hist: dict = {}
+    for u in graph.left_vertices():
+        d = graph.degree_left(u)
+        left_hist[d] = left_hist.get(d, 0) + 1
+    for v in graph.right_vertices():
+        d = graph.degree_right(v)
+        right_hist[d] = right_hist.get(d, 0) + 1
+    return left_hist, right_hist

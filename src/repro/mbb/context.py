@@ -1,0 +1,100 @@
+"""Shared mutable state for a single MBB search.
+
+Every solver in the library (the paper's algorithms as well as the
+baselines) threads a :class:`SearchContext` through its recursion.  The
+context owns:
+
+* the incumbent — the best balanced biclique found so far, shared across
+  the heuristic, bridging and verification stages so that later stages
+  prune with the bound established by earlier ones;
+* search statistics (node counts, depths) for the breakdown experiments;
+* optional node and wall-clock budgets, so benchmark runs of exponential
+  baselines terminate gracefully instead of hanging the harness (this
+  plays the role of the paper's 4-hour timeout).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.mbb.result import Biclique, SearchStats
+
+
+class SearchAborted(Exception):
+    """Internal control-flow exception raised when a budget is exhausted.
+
+    Solvers catch it at their top level and return the incumbent with
+    ``optimal=False``; it never escapes the public API.
+    """
+
+
+@dataclass
+class SearchContext:
+    """Mutable incumbent + budget + statistics for one solver invocation."""
+
+    best: Biclique = field(default_factory=Biclique.empty)
+    stats: SearchStats = field(default_factory=SearchStats)
+    node_budget: Optional[int] = None
+    time_budget: Optional[float] = None
+    _start_time: float = field(default_factory=time.perf_counter)
+    aborted: bool = False
+
+    @property
+    def best_side(self) -> int:
+        """Side size of the incumbent balanced biclique."""
+        return self.best.side_size
+
+    @property
+    def best_total(self) -> int:
+        """Total vertex count of the incumbent after balancing."""
+        return 2 * self.best.side_size
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the context was created."""
+        return time.perf_counter() - self._start_time
+
+    def offer(
+        self,
+        left: Iterable[Vertex],
+        right: Iterable[Vertex],
+    ) -> bool:
+        """Offer a biclique as a new incumbent.
+
+        The offered pair is balanced by trimming the larger side.  Returns
+        ``True`` when the incumbent improved.
+        """
+        candidate = Biclique.of(left, right).balanced()
+        if candidate.side_size > self.best.side_size:
+            self.best = candidate
+            return True
+        return False
+
+    def offer_biclique(self, biclique: Biclique) -> bool:
+        """Offer an already-built :class:`Biclique` as a new incumbent."""
+        balanced = biclique.balanced()
+        if balanced.side_size > self.best.side_size:
+            self.best = balanced
+            return True
+        return False
+
+    def enter_node(self, depth: int) -> None:
+        """Record entry into a branch-and-bound node and enforce budgets."""
+        self.stats.record_node(depth)
+        if self.node_budget is not None and self.stats.nodes > self.node_budget:
+            self.aborted = True
+            raise SearchAborted(f"node budget {self.node_budget} exhausted")
+        if self.time_budget is not None and self.elapsed > self.time_budget:
+            self.aborted = True
+            raise SearchAborted(f"time budget {self.time_budget}s exhausted")
+
+    def record_leaf(self, depth: int) -> None:
+        """Record that the node at ``depth`` was a leaf of the search tree."""
+        self.stats.record_leaf(depth)
+
+    def verify_incumbent(self, graph: BipartiteGraph) -> bool:
+        """Check the incumbent against the graph (used by tests/examples)."""
+        return self.best.is_valid_in(graph) and self.best.is_balanced

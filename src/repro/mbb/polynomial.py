@@ -1,0 +1,249 @@
+"""Polynomial-time solver for near-complete bipartite subgraphs.
+
+This module implements the heart of the dense-graph algorithm
+(Observations 1-3, Lemma 3 and Algorithm 2 of the paper): when every
+candidate vertex misses at most two neighbours on the other side, the
+bipartite complement of the candidate subgraph has maximum degree at most
+two and therefore decomposes into disjoint paths and cycles.  Picking a
+biclique in the original subgraph is then equivalent to picking an
+*independent set* in that complement — the forbidden pairs are exactly the
+complement edges — and independent sets on paths and cycles are polynomial.
+
+The solver computes, for each complement component, the Pareto frontier of
+``(left vertices chosen, right vertices chosen)`` over its independent
+sets, combines the components with a dynamic program over the frontier
+(the paper's table ``t``), adds back the "trivial" vertices with no missing
+neighbour, and returns the best achievable balanced biclique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
+from repro.mbb.context import SearchContext
+from repro.mbb.reductions import NodeState
+from repro.mbb.result import Biclique
+
+VertexKey = Tuple[str, Vertex]
+
+
+@dataclass(frozen=True)
+class _Choice:
+    """One Pareto point: how many vertices of each side and which ones."""
+
+    a: int
+    b: int
+    witness: FrozenSet[VertexKey]
+
+    def extend(self, key: VertexKey) -> "_Choice":
+        """Return a new choice with ``key`` added to the selection."""
+        if key[0] == LEFT:
+            return _Choice(self.a + 1, self.b, self.witness | {key})
+        return _Choice(self.a, self.b + 1, self.witness | {key})
+
+
+_EMPTY_CHOICE = _Choice(0, 0, frozenset())
+
+
+def _pareto(choices: Sequence[_Choice]) -> List[_Choice]:
+    """Keep only Pareto-maximal ``(a, b)`` choices (ties keep one witness)."""
+    best_b_for_a: Dict[int, _Choice] = {}
+    for choice in choices:
+        incumbent = best_b_for_a.get(choice.a)
+        if incumbent is None or choice.b > incumbent.b:
+            best_b_for_a[choice.a] = choice
+    result: List[_Choice] = []
+    best_b = -1
+    for a in sorted(best_b_for_a, reverse=True):
+        choice = best_b_for_a[a]
+        if choice.b > best_b:
+            result.append(choice)
+            best_b = choice.b
+    return result
+
+
+def missing_neighbors(
+    graph: BipartiteGraph, state: NodeState
+) -> Dict[VertexKey, Set[VertexKey]]:
+    """Complement adjacency restricted to the candidate sets of ``state``."""
+    complement: Dict[VertexKey, Set[VertexKey]] = {}
+    for u in state.ca:
+        missing = state.cb - graph.neighbors_left(u)
+        complement[(LEFT, u)] = {(RIGHT, v) for v in missing}
+    for v in state.cb:
+        missing = state.ca - graph.neighbors_right(v)
+        complement[(RIGHT, v)] = {(LEFT, u) for u in missing}
+    return complement
+
+
+def is_polynomially_solvable(graph: BipartiteGraph, state: NodeState) -> bool:
+    """Lemma 3 precondition: every candidate misses at most two neighbours."""
+    for u in state.ca:
+        if len(state.cb - graph.neighbors_left(u)) > 2:
+            return False
+    for v in state.cb:
+        if len(state.ca - graph.neighbors_right(v)) > 2:
+            return False
+    return True
+
+
+def _component_sequences(
+    complement: Dict[VertexKey, Set[VertexKey]],
+) -> List[Tuple[List[VertexKey], bool]]:
+    """Split the complement into components and linearise each one.
+
+    Returns a list of ``(sequence, is_cycle)`` pairs.  Every component of a
+    graph with maximum degree two is a simple path or a simple cycle, so a
+    walk from an endpoint (or from an arbitrary vertex for cycles) visits
+    each vertex exactly once.
+    """
+    non_trivial = {key for key, misses in complement.items() if misses}
+    seen: Set[VertexKey] = set()
+    components: List[Tuple[List[VertexKey], bool]] = []
+    for start in sorted(non_trivial, key=repr):
+        if start in seen:
+            continue
+        # Collect the whole component first.
+        stack = [start]
+        members: Set[VertexKey] = {start}
+        while stack:
+            current = stack.pop()
+            for neighbour in complement[current]:
+                if neighbour not in members:
+                    members.add(neighbour)
+                    stack.append(neighbour)
+        seen |= members
+        endpoints = sorted(
+            (key for key in members if len(complement[key] & members) <= 1),
+            key=repr,
+        )
+        is_cycle = not endpoints
+        first = endpoints[0] if endpoints else sorted(members, key=repr)[0]
+        # Walk along the path/cycle.
+        sequence = [first]
+        visited = {first}
+        current = first
+        while True:
+            next_candidates = [
+                key for key in complement[current] if key in members and key not in visited
+            ]
+            if not next_candidates:
+                break
+            current = sorted(next_candidates, key=repr)[0]
+            sequence.append(current)
+            visited.add(current)
+        components.append((sequence, is_cycle))
+    return components
+
+
+def _path_choices(sequence: Sequence[VertexKey]) -> List[_Choice]:
+    """Pareto frontier of independent-set selections along a path."""
+    if not sequence:
+        return [_EMPTY_CHOICE]
+    taken: List[_Choice] = []
+    not_taken: List[_Choice] = [_EMPTY_CHOICE]
+    for key in sequence:
+        new_taken = _pareto([choice.extend(key) for choice in not_taken])
+        new_not_taken = _pareto(taken + not_taken)
+        taken, not_taken = new_taken, new_not_taken
+    return _pareto(taken + not_taken)
+
+
+def _cycle_choices(sequence: Sequence[VertexKey]) -> List[_Choice]:
+    """Pareto frontier of independent-set selections around a cycle."""
+    if len(sequence) <= 2:
+        # Complement multi-edges cannot occur in a simple bipartite graph;
+        # a "cycle" this short degenerates to a path.
+        return _path_choices(sequence)
+    first = sequence[0]
+    without_first = _path_choices(sequence[1:])
+    inner = _path_choices(sequence[2:-1])
+    with_first = [choice.extend(first) for choice in inner]
+    return _pareto(without_first + with_first)
+
+
+def component_choices(
+    sequence: Sequence[VertexKey], is_cycle: bool
+) -> List[_Choice]:
+    """Pareto ``(a, b)`` selections for one complement path or cycle."""
+    if is_cycle:
+        return _cycle_choices(sequence)
+    return _path_choices(sequence)
+
+
+def solve_polynomial_case(
+    graph: BipartiteGraph,
+    state: NodeState,
+    context: SearchContext,
+) -> Optional[Biclique]:
+    """Solve a node whose candidate subgraph satisfies Lemma 3 exactly.
+
+    Returns the best balanced biclique extending ``(A, B)`` inside the
+    candidate sets, or ``None`` when even the best extension does not beat
+    the incumbent stored in ``context``.  The caller is responsible for
+    offering the returned biclique to the context.
+    """
+    complement = missing_neighbors(graph, state)
+    trivial_left = [u for u in state.ca if not complement[(LEFT, u)]]
+    trivial_right = [v for v in state.cb if not complement[(RIGHT, v)]]
+
+    frontier: List[_Choice] = [_EMPTY_CHOICE]
+    for sequence, is_cycle in _component_sequences(complement):
+        options = component_choices(sequence, is_cycle)
+        combined: List[_Choice] = []
+        for base in frontier:
+            for option in options:
+                combined.append(
+                    _Choice(
+                        base.a + option.a,
+                        base.b + option.b,
+                        base.witness | option.witness,
+                    )
+                )
+        frontier = _pareto(combined)
+
+    base_left = len(state.a) + len(trivial_left)
+    base_right = len(state.b) + len(trivial_right)
+    best_choice: Optional[_Choice] = None
+    best_side = context.best_side
+    for choice in frontier:
+        side = min(base_left + choice.a, base_right + choice.b)
+        if side > best_side:
+            best_side = side
+            best_choice = choice
+    if best_choice is None:
+        # Even the unconstrained optimum of this node does not improve on
+        # the incumbent.
+        return None
+
+    left = set(state.a) | set(trivial_left)
+    right = set(state.b) | set(trivial_right)
+    for side_tag, label in best_choice.witness:
+        if side_tag == LEFT:
+            left.add(label)
+        else:
+            right.add(label)
+    return Biclique.of(left, right).balanced()
+
+
+def maximum_balanced_biclique_near_complete(
+    graph: BipartiteGraph,
+) -> Biclique:
+    """Convenience wrapper: solve a whole near-complete graph directly.
+
+    The graph must satisfy the Lemma 3 condition globally (every vertex
+    misses at most two neighbours on the other side); this is the
+    "sufficiently dense, solvable in polynomial time directly" case the
+    paper highlights for VLSI-style instances.
+    """
+    state = NodeState(set(), set(), graph.left, graph.right)
+    context = SearchContext()
+    if not is_polynomially_solvable(graph, state):
+        raise ValueError(
+            "graph is not near-complete: some vertex misses more than two "
+            "neighbours; use dense_mbb instead"
+        )
+    result = solve_polynomial_case(graph, state, context)
+    return result if result is not None else Biclique.empty()

@@ -1,0 +1,106 @@
+"""Reduction rules applied inside the branch-and-bound solvers.
+
+Three rules from the paper are implemented:
+
+* **Lemma 1 (all-connection rule)** — a candidate adjacent to every
+  candidate on the other side can be moved into the partial result
+  immediately; it can never hurt.
+* **Lemma 2 (low-degree rule)** — a candidate whose neighbourhood inside
+  the other candidate set is too small to ever reach a result larger than
+  the incumbent can be discarded.
+* **Lemma 4 (core rule)** — globally, a vertex outside the
+  ``(best_side + 1)``-core cannot participate in any improving balanced
+  biclique, so the whole graph can be shrunk to that core.
+
+All rules only discard vertices that cannot be part of a *strictly
+improving* solution, so applying them never changes the optimum as long as
+the incumbent itself is retained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.cores.core import k_core
+from repro.mbb.context import SearchContext
+
+
+@dataclass
+class NodeState:
+    """The four vertex sets making up one branch-and-bound node."""
+
+    a: Set[Vertex]
+    b: Set[Vertex]
+    ca: Set[Vertex]
+    cb: Set[Vertex]
+
+    def copy(self) -> "NodeState":
+        """Deep copy (the sets are copied, the labels are shared)."""
+        return NodeState(set(self.a), set(self.b), set(self.ca), set(self.cb))
+
+    @property
+    def upper_bound_side(self) -> int:
+        """``min(|A| + |CA|, |B| + |CB|)``."""
+        return min(len(self.a) + len(self.ca), len(self.b) + len(self.cb))
+
+
+def reduce_node(
+    graph: BipartiteGraph,
+    state: NodeState,
+    context: SearchContext,
+) -> NodeState:
+    """Apply Lemmas 1 and 2 to a node until a fixpoint is reached.
+
+    The state is modified in place and also returned for convenience.  The
+    rules interact (forcing a vertex changes nothing for the other side's
+    candidate degrees, but removing one does), hence the fixpoint loop.
+
+    Invariant required and preserved: every vertex of ``CA`` is adjacent to
+    all of ``B`` and every vertex of ``CB`` is adjacent to all of ``A``.
+    """
+    target = context.best_side + 1
+    changed = True
+    while changed:
+        changed = False
+
+        # Lemma 2: drop candidates that cannot reach an improving biclique.
+        for u in list(state.ca):
+            reachable_b = len(state.b) + len(graph.neighbors_left(u) & state.cb)
+            if reachable_b < target:
+                state.ca.discard(u)
+                context.stats.reductions_removed += 1
+                changed = True
+        for v in list(state.cb):
+            reachable_a = len(state.a) + len(graph.neighbors_right(v) & state.ca)
+            if reachable_a < target:
+                state.cb.discard(v)
+                context.stats.reductions_removed += 1
+                changed = True
+
+        # Lemma 1: force candidates adjacent to the whole other candidate set.
+        for u in list(state.ca):
+            if state.cb <= graph.neighbors_left(u):
+                state.ca.discard(u)
+                state.a.add(u)
+                context.stats.reductions_forced += 1
+                changed = True
+        for v in list(state.cb):
+            if state.ca <= graph.neighbors_right(v):
+                state.cb.discard(v)
+                state.b.add(v)
+                context.stats.reductions_forced += 1
+                changed = True
+    return state
+
+
+def core_reduce(graph: BipartiteGraph, best_side: int) -> BipartiteGraph:
+    """Lemma 4: shrink the graph to its ``(best_side + 1)``-core.
+
+    Any balanced biclique with side size at least ``best_side + 1`` gives
+    each of its vertices degree at least ``best_side + 1`` inside the
+    biclique, so all of them survive in that core; everything outside can
+    be discarded without losing an improving solution.
+    """
+    return k_core(graph, best_side + 1)

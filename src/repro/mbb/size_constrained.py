@@ -1,0 +1,204 @@
+"""The size-constrained ``(a, b)`` biclique problem (paper §4.2).
+
+The paper's polynomial case is built on the *size-constrained biclique
+problem*: given integers ``(a, b)``, decide whether the graph contains a
+biclique ``(A, B)`` with ``|A| >= a`` and ``|B| >= b``, and the *maximal
+instances* of that problem — the Pareto frontier of achievable ``(a, b)``
+pairs.  This module exposes both as a small public API:
+
+* :func:`find_biclique_of_size` / :func:`has_biclique_of_size` solve one
+  ``(a, b)`` instance exactly with a dedicated branch and bound;
+* :func:`maximal_biclique_profile` computes the full Pareto frontier of
+  maximal ``(a, b)`` pairs (the object Observation 2 enumerates in closed
+  form for complement paths and cycles), which is useful in its own right
+  for co-clustering applications that trade rows for columns.
+
+Both are exponential in the worst case (the problems are NP-hard for
+general ``a = b``) and intended for moderate graphs or pruned subgraphs;
+they accept the same node/time budgets as every other solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro._util import ensure_recursion_limit, recursion_headroom_for
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.mbb.context import SearchAborted, SearchContext
+from repro.mbb.result import Biclique
+
+
+def _search(
+    graph: BipartiteGraph,
+    context: SearchContext,
+    a_target: int,
+    b_target: int,
+    a: Set[Vertex],
+    b: Set[Vertex],
+    ca: Set[Vertex],
+    cb: Set[Vertex],
+    depth: int,
+) -> Optional[Biclique]:
+    """Depth-first search for a biclique with ``|A| >= a_target, |B| >= b_target``.
+
+    The invariant is the usual one: every candidate in ``ca`` is adjacent to
+    all of ``b`` and every candidate in ``cb`` to all of ``a``.  The search
+    succeeds as soon as both targets are reachable by one-sided completion.
+    """
+    context.enter_node(depth)
+    if len(a) + len(ca) < a_target or len(b) + len(cb) < b_target:
+        context.record_leaf(depth)
+        return None
+    if len(a) >= a_target and len(b) >= b_target:
+        context.record_leaf(depth)
+        return Biclique.of(a, b)
+
+    # One-sided completions: candidates are adjacent to the whole opposite
+    # partial side, so either side can be topped up for free.
+    if len(a) >= a_target and len(b) + len(cb) >= b_target:
+        needed = b_target - len(b)
+        extra = sorted(cb, key=repr)[:needed]
+        context.record_leaf(depth)
+        return Biclique.of(a, set(b) | set(extra))
+    if len(b) >= b_target and len(a) + len(ca) >= a_target:
+        needed = a_target - len(a)
+        extra = sorted(ca, key=repr)[:needed]
+        context.record_leaf(depth)
+        return Biclique.of(set(a) | set(extra), b)
+
+    # Branch on the side that is still short, preferring the candidate with
+    # the largest surviving neighbourhood.
+    extend_left = (a_target - len(a)) >= (b_target - len(b))
+    if extend_left and ca:
+        vertex = max(ca, key=lambda u: (len(graph.neighbors_left(u) & cb), repr(u)))
+        include = _search(
+            graph,
+            context,
+            a_target,
+            b_target,
+            a | {vertex},
+            b,
+            ca - {vertex},
+            cb & graph.neighbors_left(vertex),
+            depth + 1,
+        )
+        if include is not None:
+            return include
+        return _search(
+            graph, context, a_target, b_target, a, b, ca - {vertex}, cb, depth + 1
+        )
+    if cb:
+        vertex = max(cb, key=lambda v: (len(graph.neighbors_right(v) & ca), repr(v)))
+        include = _search(
+            graph,
+            context,
+            a_target,
+            b_target,
+            a,
+            b | {vertex},
+            ca & graph.neighbors_right(vertex),
+            cb - {vertex},
+            depth + 1,
+        )
+        if include is not None:
+            return include
+        return _search(
+            graph, context, a_target, b_target, a, b, ca, cb - {vertex}, depth + 1
+        )
+    context.record_leaf(depth)
+    return None
+
+
+def find_biclique_of_size(
+    graph: BipartiteGraph,
+    a: int,
+    b: int,
+    *,
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+) -> Optional[Biclique]:
+    """Return a biclique with ``|A| >= a`` and ``|B| >= b``, or ``None``.
+
+    Raises :class:`InvalidParameterError` for negative targets.  A ``(0, 0)``
+    instance is satisfied by the empty biclique.  When a budget is exhausted
+    before a witness is found the function returns ``None`` (the caller can
+    inspect the budget through its own :class:`SearchContext` if needed).
+    """
+    if a < 0 or b < 0:
+        raise InvalidParameterError(f"size targets must be non-negative, got ({a}, {b})")
+    if a == 0 and b == 0:
+        return Biclique.empty()
+    if a > graph.num_left or b > graph.num_right:
+        return None
+    ensure_recursion_limit(recursion_headroom_for(graph.num_vertices))
+    context = SearchContext(node_budget=node_budget, time_budget=time_budget)
+    try:
+        return _search(
+            graph, context, a, b, set(), set(), graph.left, graph.right, 0
+        )
+    except SearchAborted:
+        return None
+
+
+def has_biclique_of_size(graph: BipartiteGraph, a: int, b: int, **kwargs) -> bool:
+    """Decision version of :func:`find_biclique_of_size`."""
+    return find_biclique_of_size(graph, a, b, **kwargs) is not None
+
+
+def maximal_biclique_profile(
+    graph: BipartiteGraph,
+    *,
+    max_side: Optional[int] = None,
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+) -> List[Tuple[int, int]]:
+    """Pareto frontier of achievable ``(|A|, |B|)`` biclique sizes.
+
+    The returned list contains every *maximal instance* in the paper's sense:
+    pairs ``(a, b)`` such that an ``(a, b)`` biclique exists but neither
+    ``(a + 1, b)`` nor ``(a, b + 1)`` does.  Pairs are sorted by decreasing
+    ``a``.  Trivial instances with an empty side are included (``(a_max, 0)``
+    and ``(0, b_max)``) because the combination DP of Algorithm 2 consumes
+    them.
+
+    ``max_side`` caps the explored ``a`` range (useful on larger graphs when
+    only small profiles are of interest).
+    """
+    a_cap = graph.num_left if max_side is None else min(max_side, graph.num_left)
+    b_cap = graph.num_right if max_side is None else min(max_side, graph.num_right)
+
+    # For each a in 0..a_cap find the largest b such that an (a, b) biclique
+    # exists; b is monotonically non-increasing in a, which the loop exploits
+    # by starting each scan from the previous best.
+    frontier: Dict[int, int] = {}
+    previous_best = b_cap
+    for a in range(0, a_cap + 1):
+        best_b = -1
+        for b in range(previous_best, -1, -1):
+            witness = find_biclique_of_size(
+                graph, a, b, node_budget=node_budget, time_budget=time_budget
+            )
+            if witness is not None:
+                best_b = b
+                break
+        if best_b < 0:
+            break
+        frontier[a] = best_b
+        previous_best = best_b
+
+    # Keep only Pareto-maximal pairs.
+    result: List[Tuple[int, int]] = []
+    best_seen_b = -1
+    for a in sorted(frontier, reverse=True):
+        b = frontier[a]
+        if b > best_seen_b:
+            result.append((a, b))
+            best_seen_b = b
+    result.sort(key=lambda pair: -pair[0])
+    return result
+
+
+def balanced_side_from_profile(profile: List[Tuple[int, int]]) -> int:
+    """Largest balanced side implied by a profile (``max min(a, b)``)."""
+    return max((min(a, b) for a, b in profile), default=0)

@@ -1,0 +1,98 @@
+"""Synthetic workload definitions for the evaluation suites.
+
+Two synthetic families are exposed:
+
+* the **dense suite** mirrors Table 4 of the paper — uniform random
+  bipartite graphs with edge density 0.70-0.95 over a sweep of side sizes.
+  The paper uses 128-2048 vertices per side; the Python reproduction scales
+  that down (configurable) while keeping the densities and the side-size
+  doubling pattern so the *shape* of the table (who wins, how the running
+  time grows with size and density) is preserved;
+* **sparse synthetic graphs** — power-law bipartite graphs with an
+  optional planted balanced biclique, used by the dataset stand-ins of
+  Table 5/6 and by the heuristic-gap experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    planted_balanced_biclique,
+    random_bipartite,
+    random_power_law_bipartite,
+)
+
+#: Edge densities evaluated by Table 4 of the paper.
+TABLE4_DENSITIES: Tuple[float, ...] = (0.70, 0.75, 0.80, 0.85, 0.90, 0.95)
+
+#: Side sizes used by the scaled-down dense suite (the paper uses
+#: 128, 256, ..., 2048; a pure-Python branch and bound cannot sweep those in
+#: a benchmark harness, so the suite keeps the doubling pattern at a scale
+#: where every algorithm finishes).
+DEFAULT_DENSE_SIDES: Tuple[int, ...] = (16, 24, 32, 40)
+
+
+@dataclass(frozen=True)
+class DenseCase:
+    """One cell of the dense synthetic sweep."""
+
+    side: int
+    density: float
+    instances: int = 3
+    seed: int = 0
+
+    @property
+    def label(self) -> str:
+        """Row/column label used by the benchmark tables."""
+        return f"{self.side}x{self.side}@{int(self.density * 100)}%"
+
+
+def dense_case_graph(case: DenseCase, instance: int = 0) -> BipartiteGraph:
+    """Generate the ``instance``-th random graph of a dense sweep cell."""
+    seed = hash((case.side, round(case.density * 100), case.seed, instance)) & 0x7FFFFFFF
+    return random_bipartite(case.side, case.side, case.density, seed=seed)
+
+
+def dense_suite(
+    sides: Sequence[int] = DEFAULT_DENSE_SIDES,
+    densities: Sequence[float] = TABLE4_DENSITIES,
+    instances: int = 3,
+) -> Iterator[DenseCase]:
+    """Iterate over all cells of the dense synthetic sweep (Table 4)."""
+    for side in sides:
+        for density in densities:
+            yield DenseCase(side=side, density=density, instances=instances)
+
+
+def sparse_synthetic_graph(
+    n_left: int,
+    n_right: int,
+    avg_degree: float,
+    *,
+    planted_size: int = 0,
+    exponent: float = 2.1,
+    seed: int = 0,
+) -> BipartiteGraph:
+    """Power-law bipartite graph with an optional planted balanced biclique.
+
+    This is the construction behind every KONECT stand-in: a heavy-tailed
+    background (matching the degree skew of real interaction data) plus a
+    planted balanced biclique that plays the role of the dataset's dense
+    community, giving the instance a non-trivial optimum.
+    """
+    graph = random_power_law_bipartite(
+        n_left, n_right, avg_degree, exponent=exponent, seed=seed
+    )
+    if planted_size > 0:
+        planted = planted_balanced_biclique(
+            planted_size, planted_size, planted_size, background_density=0.0
+        )
+        # Embed the planted block on the lowest-index vertices; those are the
+        # highest-weight (hub) vertices of the power-law construction, which
+        # matches how dense communities sit on hubs in real data.
+        for u, v in planted.edges():
+            graph.add_edge(u, v)
+    return graph

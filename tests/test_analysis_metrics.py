@@ -1,0 +1,88 @@
+"""Tests for the breakdown metrics behind Figures 4-6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    planted_balanced_biclique,
+    random_power_law_bipartite,
+)
+from repro.cores.orders import ORDER_BIDEGENERACY, ORDER_DEGENERACY, ORDER_DEGREE
+from repro.analysis.metrics import (
+    HeuristicGap,
+    average_subgraph_density,
+    heuristic_gaps,
+    search_depth_ratio,
+    subgraph_size_totals,
+)
+
+
+class TestSubgraphDensity:
+    def test_densities_for_all_orders(self):
+        graph = random_power_law_bipartite(60, 60, 3.0, seed=1)
+        densities = average_subgraph_density(graph)
+        assert set(densities) == {ORDER_DEGREE, ORDER_DEGENERACY, ORDER_BIDEGENERACY}
+        assert all(0.0 <= value <= 1.0 for value in densities.values())
+
+    def test_bidegeneracy_gives_densest_subgraphs_on_skewed_graph(self):
+        graph = random_power_law_bipartite(150, 150, 3.0, seed=2)
+        densities = average_subgraph_density(graph)
+        assert densities[ORDER_BIDEGENERACY] >= densities[ORDER_DEGREE]
+
+    def test_empty_graph(self):
+        densities = average_subgraph_density(BipartiteGraph())
+        assert all(value == 0.0 for value in densities.values())
+
+
+class TestSubgraphSizeTotals:
+    def test_totals_positive_and_lemma8_bound(self):
+        from repro.cores.bicore import bidegeneracy
+
+        graph = random_power_law_bipartite(100, 100, 3.0, seed=3)
+        totals = subgraph_size_totals(graph)
+        assert all(total >= graph.num_vertices for total in totals.values())
+        # Lemma 8: the bidegeneracy order bounds the family size by
+        # (|L|+|R|) * (bidegeneracy + 1).
+        assert totals[ORDER_BIDEGENERACY] <= graph.num_vertices * (
+            bidegeneracy(graph) + 1
+        )
+
+
+class TestSearchDepthRatio:
+    def test_ratios_are_non_negative_and_small(self):
+        graph = planted_balanced_biclique(40, 40, 5, background_density=0.03, seed=4)
+        ratios = search_depth_ratio(graph)
+        assert set(ratios) == {ORDER_DEGREE, ORDER_DEGENERACY, ORDER_BIDEGENERACY}
+        assert all(value >= 0.0 for value in ratios.values())
+
+    def test_empty_graph_returns_zeros(self):
+        ratios = search_depth_ratio(BipartiteGraph())
+        assert all(value == 0.0 for value in ratios.values())
+
+
+class TestHeuristicGaps:
+    def test_gap_dataclass_arithmetic(self):
+        gap = HeuristicGap(optimum=7, global_heuristic=5, local_heuristic=7)
+        assert gap.gap_global == 2
+        assert gap.gap_local == 0
+
+    def test_gaps_on_planted_graph(self):
+        graph = planted_balanced_biclique(40, 40, 6, background_density=0.02, seed=5)
+        gap = heuristic_gaps(graph)
+        assert gap.optimum >= 6
+        assert 0 <= gap.gap_local <= gap.gap_global
+
+    def test_gap_zero_on_complete_graph(self):
+        gap = heuristic_gaps(complete_bipartite(6, 6))
+        assert gap.optimum == 6
+        assert gap.gap_global == 0
+        assert gap.gap_local == 0
+
+    def test_supplied_optimum_is_used(self):
+        graph = complete_bipartite(3, 3)
+        gap = heuristic_gaps(graph, optimum=10)
+        assert gap.optimum == 10
+        assert gap.gap_global == 7

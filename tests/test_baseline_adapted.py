@@ -1,0 +1,42 @@
+"""Tests for the adapted baselines adp1..adp4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import complete_bipartite, random_bipartite
+from repro.baselines.adapted import ADAPTED_BASELINES, run_adapted_baseline
+from repro.baselines.brute_force import brute_force_side_size
+
+
+class TestAdaptedBaselines:
+    def test_registry_matches_paper(self):
+        assert set(ADAPTED_BASELINES) == {"adp1", "adp2", "adp3", "adp4"}
+        assert ADAPTED_BASELINES["adp3"] == {"heuristic": "sbmnas", "engine": "fmbe"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(InvalidParameterError):
+            run_adapted_baseline(BipartiteGraph(), "adp9")
+
+    @pytest.mark.parametrize("name", sorted(ADAPTED_BASELINES))
+    def test_exactness_on_random_graphs(self, name, random_graph_factory):
+        for seed in range(6):
+            graph = random_graph_factory(seed, max_side=8)
+            result = run_adapted_baseline(graph, name, heuristic_iterations=200)
+            assert result.side_size == brute_force_side_size(graph), (name, seed)
+
+    @pytest.mark.parametrize("name", sorted(ADAPTED_BASELINES))
+    def test_complete_graph_short_circuits_after_heuristic(self, name):
+        graph = complete_bipartite(5, 5)
+        result = run_adapted_baseline(graph, name, heuristic_iterations=300)
+        assert result.side_size == 5
+        assert result.optimal
+
+    def test_budget_gives_best_effort(self):
+        graph = random_bipartite(14, 14, 0.6, seed=2)
+        result = run_adapted_baseline(
+            graph, "adp2", heuristic_iterations=50, node_budget=3
+        )
+        assert result.biclique.is_valid_in(graph)

@@ -1,0 +1,70 @@
+"""Tests for the ExtBBClq baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import LEFT, RIGHT
+from repro.graph.generators import (
+    complete_bipartite,
+    crown_graph,
+    grid_union_of_bicliques,
+    random_bipartite,
+)
+from repro.baselines.brute_force import brute_force_side_size
+from repro.baselines.extbbclq import (
+    ext_bbclq,
+    tight_upper_bounds,
+    vertex_upper_bounds,
+)
+
+
+class TestUpperBounds:
+    def test_complete_graph_bounds(self):
+        graph = complete_bipartite(4, 4)
+        bounds = vertex_upper_bounds(graph)
+        assert all(value == 4 for value in bounds.values())
+        tight = tight_upper_bounds(graph, bounds)
+        assert all(value == 4 for value in tight.values())
+
+    def test_bounds_are_valid_upper_bounds(self):
+        """No vertex bound may undercut the side of an MBB containing it."""
+        for seed in range(6):
+            graph = random_bipartite(7, 7, 0.6, seed=seed)
+            optimum = brute_force_side_size(graph)
+            tight = tight_upper_bounds(graph)
+            # The optimum biclique contains at least one vertex on each side;
+            # the maximum tight bound must therefore be >= optimum.
+            assert max(tight.values(), default=0) >= optimum
+
+    def test_isolated_vertex_has_zero_bound(self):
+        graph = random_bipartite(3, 3, 0.0, seed=1)
+        bounds = vertex_upper_bounds(graph)
+        assert all(value == 0 for value in bounds.values())
+
+
+class TestExtBBClq:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_matches_brute_force(self, seed, random_graph_factory):
+        graph = random_graph_factory(seed, max_side=8)
+        assert ext_bbclq(graph).side_size == brute_force_side_size(graph)
+
+    @pytest.mark.parametrize("n", range(2, 7))
+    def test_crown_graphs(self, n):
+        assert ext_bbclq(crown_graph(n)).side_size == n // 2
+
+    def test_union_of_blocks(self):
+        result = ext_bbclq(grid_union_of_bicliques([4, 2]))
+        assert result.side_size == 4
+
+    def test_budget_gives_best_effort(self):
+        graph = random_bipartite(16, 16, 0.7, seed=1)
+        result = ext_bbclq(graph, node_budget=5)
+        assert not result.optimal
+        assert result.biclique.is_valid_in(graph)
+
+    def test_result_validity(self):
+        graph = random_bipartite(10, 10, 0.5, seed=9)
+        result = ext_bbclq(graph)
+        assert result.biclique.is_valid_in(graph)
+        assert result.biclique.is_balanced

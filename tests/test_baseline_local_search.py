@@ -1,0 +1,47 @@
+"""Tests for the POLS- and SBMNAS-style heuristic baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    planted_balanced_biclique,
+    random_bipartite,
+)
+from repro.baselines.brute_force import brute_force_side_size
+from repro.baselines.local_search import pols, sbmnas
+
+
+@pytest.mark.parametrize("heuristic", [pols, sbmnas])
+class TestLocalSearchHeuristics:
+    def test_empty_graph(self, heuristic):
+        assert heuristic(BipartiteGraph()).side_size == 0
+
+    def test_edgeless_graph(self, heuristic):
+        graph = BipartiteGraph(left=[1, 2], right=[3])
+        assert heuristic(graph).side_size == 0
+
+    def test_complete_graph_reaches_optimum(self, heuristic):
+        graph = complete_bipartite(5, 5)
+        assert heuristic(graph, iterations=200).side_size == 5
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_result_is_valid_and_never_exceeds_optimum(self, heuristic, seed):
+        graph = random_bipartite(9, 9, 0.5, seed=seed)
+        result = heuristic(graph, iterations=300, seed=seed)
+        assert result.is_balanced
+        assert result.is_valid_in(graph)
+        assert result.side_size <= brute_force_side_size(graph)
+
+    def test_planted_block_is_mostly_recovered(self, heuristic):
+        graph = planted_balanced_biclique(25, 25, 6, background_density=0.05, seed=4)
+        result = heuristic(graph, iterations=800, seed=1)
+        assert result.side_size >= 4
+
+    def test_deterministic_given_seed(self, heuristic):
+        graph = random_bipartite(12, 12, 0.4, seed=6)
+        a = heuristic(graph, iterations=200, seed=11)
+        b = heuristic(graph, iterations=200, seed=11)
+        assert a == b

@@ -1,0 +1,61 @@
+"""Tests for the adapted maximal-biclique-enumeration engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    crown_graph,
+    grid_union_of_bicliques,
+    random_bipartite,
+    random_power_law_bipartite,
+)
+from repro.baselines.brute_force import brute_force_side_size
+from repro.baselines.mbe import adapted_fmbe, adapted_imbea
+
+
+@pytest.mark.parametrize("engine", [adapted_imbea, adapted_fmbe])
+class TestAdaptedEngines:
+    def test_empty_graph(self, engine):
+        assert engine(BipartiteGraph()).side_size == 0
+
+    def test_complete_graph(self, engine):
+        assert engine(complete_bipartite(4, 5)).side_size == 4
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force(self, engine, seed, random_graph_factory):
+        graph = random_graph_factory(seed, max_side=8)
+        assert engine(graph).side_size == brute_force_side_size(graph)
+
+    def test_without_core_bound_still_exact(self, engine):
+        for seed in range(5):
+            graph = random_bipartite(7, 7, 0.5, seed=seed)
+            result = engine(graph, use_core_bound=False)
+            assert result.side_size == brute_force_side_size(graph)
+
+    def test_sparse_power_law(self, engine):
+        from repro.mbb.dense import dense_mbb
+
+        graph = random_power_law_bipartite(30, 30, 2.0, seed=1)
+        # Too large for the brute-force oracle; cross-check against denseMBB.
+        assert engine(graph).side_size == dense_mbb(graph).side_size
+
+    def test_result_validity(self, engine):
+        graph = grid_union_of_bicliques([3, 2], noise_edges=4, seed=2)
+        result = engine(graph)
+        assert result.biclique.is_valid_in(graph)
+        assert result.biclique.is_balanced
+
+    def test_budget_best_effort(self, engine):
+        graph = random_bipartite(14, 14, 0.6, seed=3)
+        result = engine(graph, node_budget=3)
+        assert result.biclique.is_valid_in(graph)
+
+
+class TestEngineDifferences:
+    def test_crown_graphs_agree(self):
+        for n in range(2, 7):
+            graph = crown_graph(n)
+            assert adapted_imbea(graph).side_size == adapted_fmbe(graph).side_size == n // 2

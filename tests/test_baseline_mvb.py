@@ -1,0 +1,80 @@
+"""Tests for the polynomial maximum vertex biclique solver (König)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import complete_bipartite, crown_graph, random_bipartite
+from repro.baselines.brute_force import brute_force_side_size
+from repro.baselines.mvb import (
+    hopcroft_karp_matching,
+    maximum_vertex_biclique,
+    minimum_vertex_cover,
+    mvb_total_size,
+)
+from repro.graph.validation import is_biclique
+
+
+def _to_networkx(graph: BipartiteGraph) -> nx.Graph:
+    nx_graph = nx.Graph()
+    left = [("L", u) for u in graph.left_vertices()]
+    nx_graph.add_nodes_from(left, bipartite=0)
+    nx_graph.add_nodes_from((("R", v) for v in graph.right_vertices()), bipartite=1)
+    for u, v in graph.edges():
+        nx_graph.add_edge(("L", u), ("R", v))
+    return nx_graph
+
+
+class TestHopcroftKarp:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matching_size_matches_networkx(self, seed):
+        graph = random_bipartite(8, 9, 0.4, seed=seed)
+        ours = hopcroft_karp_matching(graph)
+        nx_graph = _to_networkx(graph)
+        left_nodes = {n for n, d in nx_graph.nodes(data=True) if d["bipartite"] == 0}
+        theirs = nx.bipartite.maximum_matching(nx_graph, top_nodes=left_nodes)
+        # NetworkX returns both directions; ours returns left -> right only.
+        assert len(ours) == len(theirs) // 2
+
+    def test_matching_is_a_valid_matching(self):
+        graph = random_bipartite(10, 10, 0.3, seed=3)
+        matching = hopcroft_karp_matching(graph)
+        assert len(set(matching.values())) == len(matching)
+        assert all(graph.has_edge(u, v) for u, v in matching.items())
+
+    def test_complete_graph_perfect_matching(self):
+        assert len(hopcroft_karp_matching(complete_bipartite(5, 5))) == 5
+
+
+class TestMinimumVertexCover:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cover_covers_every_edge_and_matches_koenig(self, seed):
+        graph = random_bipartite(7, 8, 0.4, seed=seed)
+        left_cover, right_cover = minimum_vertex_cover(graph)
+        for u, v in graph.edges():
+            assert u in left_cover or v in right_cover
+        assert len(left_cover) + len(right_cover) == len(hopcroft_karp_matching(graph))
+
+
+class TestMaximumVertexBiclique:
+    def test_complete_graph_takes_everything(self):
+        graph = complete_bipartite(3, 6)
+        assert mvb_total_size(graph) == 9
+
+    def test_crown_graph(self):
+        graph = crown_graph(4)
+        result = maximum_vertex_biclique(graph)
+        assert is_biclique(graph, result.left, result.right)
+        # Crown graph: best vertex biclique keeps all but a matched pair
+        # structure; total is n (choose disjoint index sets maximising sum).
+        assert result.total_size == 4
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_result_is_a_biclique_and_bounds_mbb(self, seed):
+        graph = random_bipartite(8, 8, 0.5, seed=seed)
+        result = maximum_vertex_biclique(graph)
+        assert is_biclique(graph, result.left, result.right)
+        # The MVB total size upper-bounds twice the MBB side size.
+        assert 2 * brute_force_side_size(graph) <= result.total_size

@@ -1,0 +1,111 @@
+"""Tests for bicore decomposition, bidegeneracy and the bidegeneracy order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    path_bipartite,
+    random_bipartite,
+    star_bipartite,
+)
+from repro.cores.bicore import bicore_numbers, bidegeneracy, bidegeneracy_order
+from repro.cores.two_hop import n_le2_neighbors, n_le2_sizes
+
+
+class TestBicoreNumbers:
+    def test_complete_bipartite(self):
+        graph = complete_bipartite(3, 4)
+        numbers = bicore_numbers(graph)
+        # Every vertex sees the whole graph within two hops: |N_<=2| = 6.
+        assert all(value == 6 for value in numbers.values())
+
+    def test_star_graph(self):
+        graph = star_bipartite(5)
+        numbers = bicore_numbers(graph)
+        # The centre sees its 5 leaves; every leaf sees the centre plus the
+        # other 4 leaves, so all |N_<=2| values are 5 and never drop below
+        # the final peel value.
+        assert numbers[(LEFT, 0)] == 5
+        assert all(numbers[(RIGHT, v)] == 5 for v in range(5))
+
+    def test_single_edge(self):
+        graph = BipartiteGraph(edges=[(0, 0)])
+        numbers = bicore_numbers(graph)
+        assert numbers == {(LEFT, 0): 1, (RIGHT, 0): 1}
+
+    def test_empty_graph(self):
+        assert bicore_numbers(BipartiteGraph()) == {}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_peeling_matches_exact_reference(self, seed):
+        graph = random_bipartite(6, 6, 0.35, seed=seed)
+        fast = bicore_numbers(graph)
+        exact = bicore_numbers(graph, exact=True)
+        # The peeling of Algorithm 7 (Lemma 10 tie-break) and the exact
+        # recomputation agree on the bidegeneracy, the quantity the sparse
+        # framework's complexity depends on.
+        assert max(fast.values(), default=0) == max(exact.values(), default=0)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bicore_at_least_core_like_lower_bounds(self, seed):
+        graph = random_bipartite(8, 8, 0.3, seed=seed)
+        numbers = bicore_numbers(graph)
+        sizes = n_le2_sizes(graph)
+        for key, value in numbers.items():
+            # A vertex's bicore number can never exceed its |N_<=2| in the
+            # full graph, and is never negative.
+            assert 0 <= value <= sizes[key]
+
+
+class TestBidegeneracy:
+    def test_monotone_under_edge_addition(self):
+        graph = random_bipartite(8, 8, 0.2, seed=3)
+        before = bidegeneracy(graph)
+        denser = graph.copy()
+        for u in range(4):
+            for v in range(4):
+                denser.add_edge(u, v)
+        assert bidegeneracy(denser) >= before
+
+    def test_path_bidegeneracy_small(self):
+        assert bidegeneracy(path_bipartite(6)) <= 4
+
+    def test_empty_graph(self):
+        assert bidegeneracy(BipartiteGraph()) == 0
+
+    def test_bidegeneracy_at_least_balanced_biclique_bound(self):
+        # A planted K_{4,4} forces every planted vertex to have |N_<=2| >= 7
+        # inside the block, so the bidegeneracy is at least 7.
+        graph = complete_bipartite(4, 4)
+        assert bidegeneracy(graph) == 7
+
+
+class TestBidegeneracyOrder:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_is_permutation(self, seed):
+        graph = random_bipartite(7, 7, 0.35, seed=seed)
+        order = bidegeneracy_order(graph)
+        assert len(order) == graph.num_vertices
+        assert len(set(order)) == graph.num_vertices
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_suffix_n_le2_bounded_by_bidegeneracy(self, seed):
+        """Definition 5: each vertex minimises |N_<=2| in its suffix subgraph."""
+        graph = random_bipartite(7, 7, 0.35, seed=seed)
+        order = bidegeneracy_order(graph)
+        delta = bidegeneracy(graph)
+        for index, key in enumerate(order):
+            suffix = order[index:]
+            left = [label for side, label in suffix if side == LEFT]
+            right = [label for side, label in suffix if side == RIGHT]
+            sub = graph.induced_subgraph(left, right)
+            side, label = key
+            if side == LEFT and not sub.has_left_vertex(label):
+                continue
+            if side == RIGHT and not sub.has_right_vertex(label):
+                continue
+            size = len(n_le2_neighbors(sub, side, label))
+            assert size <= delta

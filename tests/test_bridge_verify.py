@@ -1,0 +1,97 @@
+"""Tests for the bridging (Algorithm 6) and verification (Algorithm 8) stages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    grid_union_of_bicliques,
+    planted_balanced_biclique,
+    random_bipartite,
+)
+from repro.cores.orders import ORDER_BIDEGENERACY, ORDER_DEGREE
+from repro.mbb.bridge import bridge_mbb
+from repro.mbb.context import SearchContext
+from repro.mbb.verify import verify_mbb
+from repro.baselines.brute_force import brute_force_side_size
+
+
+class TestBridgeMBB:
+    def test_empty_graph(self):
+        context = SearchContext()
+        outcome = bridge_mbb(BipartiteGraph(), context)
+        assert outcome.exhausted
+        assert outcome.best.side_size == 0
+
+    def test_pruning_with_strong_incumbent_removes_everything(self):
+        graph = random_bipartite(12, 12, 0.2, seed=1)
+        context = SearchContext()
+        # Give the context an incumbent that is certainly at least as large
+        # as anything in this sparse graph.
+        context.offer(range(100, 108), range(200, 208))
+        outcome = bridge_mbb(graph, context)
+        assert outcome.exhausted
+
+    def test_local_heuristic_improves_incumbent_on_planted_graph(self):
+        graph = planted_balanced_biclique(40, 40, 6, background_density=0.02, seed=3)
+        context = SearchContext()
+        outcome = bridge_mbb(graph, context)
+        assert outcome.best.side_size >= 5
+
+    def test_surviving_subgraphs_have_enough_vertices(self):
+        graph = random_bipartite(20, 20, 0.25, seed=4)
+        context = SearchContext()
+        context.offer([0, 1], [0, 1])
+        outcome = bridge_mbb(graph, context)
+        for sub in outcome.surviving:
+            assert min(sub.graph.num_left, sub.graph.num_right) >= context.best_side + 1
+
+    def test_statistics_are_populated(self):
+        graph = random_bipartite(15, 15, 0.3, seed=5)
+        context = SearchContext()
+        bridge_mbb(graph, context)
+        assert context.stats.subgraphs_generated == graph.num_vertices
+
+    @pytest.mark.parametrize("order_name", [ORDER_DEGREE, ORDER_BIDEGENERACY])
+    def test_bridge_plus_verify_reaches_optimum(self, order_name):
+        for seed in range(6):
+            graph = random_bipartite(9, 9, 0.5, seed=seed)
+            optimum = brute_force_side_size(graph)
+            context = SearchContext()
+            outcome = bridge_mbb(graph, context, order=order_name)
+            verify_mbb(outcome.surviving, context)
+            assert context.best_side == optimum
+
+
+class TestVerifyMBB:
+    def test_verify_on_no_subgraphs_keeps_incumbent(self):
+        context = SearchContext()
+        context.offer([1], [2])
+        best = verify_mbb([], context)
+        assert best.side_size == 1
+
+    def test_verify_improves_on_union_of_blocks(self):
+        graph = grid_union_of_bicliques([4, 2])
+        context = SearchContext()
+        outcome = bridge_mbb(graph, context, use_local_heuristic=False)
+        verify_mbb(outcome.surviving, context)
+        assert context.best_side == 4
+
+    def test_verify_without_core_pruning_still_correct(self):
+        graph = random_bipartite(8, 8, 0.6, seed=7)
+        optimum = brute_force_side_size(graph)
+        context = SearchContext()
+        outcome = bridge_mbb(graph, context, use_core_pruning=False)
+        verify_mbb(outcome.surviving, context, use_core_pruning=False)
+        assert context.best_side == optimum
+
+    def test_verify_respects_time_budget(self):
+        graph = complete_bipartite(12, 12)
+        context = SearchContext(node_budget=1)
+        outcome = bridge_mbb(graph, context, use_local_heuristic=False)
+        # With a one-node budget the verification aborts but must still
+        # return a valid (possibly sub-optimal) incumbent.
+        best = verify_mbb(outcome.surviving, context)
+        assert best.is_valid_in(graph)

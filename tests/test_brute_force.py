@@ -1,0 +1,52 @@
+"""Tests for the brute-force oracle itself (checked against closed forms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    crown_graph,
+    grid_union_of_bicliques,
+    star_bipartite,
+)
+from repro.baselines.brute_force import brute_force_mbb, brute_force_side_size
+
+
+class TestBruteForce:
+    def test_empty_graph(self):
+        assert brute_force_mbb(BipartiteGraph()).side_size == 0
+
+    def test_graph_without_edges(self):
+        graph = BipartiteGraph(left=[1, 2], right=[3, 4])
+        assert brute_force_side_size(graph) == 0
+
+    @pytest.mark.parametrize("n_left,n_right", [(1, 1), (2, 5), (4, 4), (6, 3)])
+    def test_complete_bipartite_closed_form(self, n_left, n_right):
+        graph = complete_bipartite(n_left, n_right)
+        assert brute_force_side_size(graph) == min(n_left, n_right)
+
+    @pytest.mark.parametrize("n", range(0, 8))
+    def test_crown_graph_closed_form(self, n):
+        assert brute_force_side_size(crown_graph(n)) == n // 2
+
+    def test_star_graph(self):
+        assert brute_force_side_size(star_bipartite(7)) == 1
+
+    def test_union_of_blocks(self):
+        assert brute_force_side_size(grid_union_of_bicliques([3, 5, 2])) == 5
+
+    def test_result_is_valid_biclique(self):
+        graph = grid_union_of_bicliques([3, 2])
+        result = brute_force_mbb(graph)
+        assert result.is_valid_in(graph)
+        assert result.is_balanced
+
+    def test_enumerated_side_cap(self):
+        graph = complete_bipartite(30, 2)
+        # The smaller side (2) is enumerated, so the cap is not hit.
+        assert brute_force_side_size(graph) == 2
+        with pytest.raises(InvalidParameterError):
+            brute_force_mbb(complete_bipartite(30, 30), max_side=10)

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graph.generators import planted_balanced_biclique
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+class TestSolveCommand:
+    def test_solve_edge_list_file(self, tmp_path, capsys):
+        graph = planted_balanced_biclique(15, 15, 4, background_density=0.05, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        exit_code = main(["solve", "--input", str(path), "--show-vertices"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "maximum balanced biclique side size: 4" in out
+        assert "left" in out and "right" in out
+
+    def test_solve_dataset_stand_in(self, capsys):
+        exit_code = main(["solve", "--dataset", "unicodelang", "--method", "sparse"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "terminated at step" in out
+
+    def test_solve_unknown_dataset_reports_error(self, capsys):
+        exit_code = main(["solve", "--dataset", "does-not-exist"])
+        err = capsys.readouterr().err
+        assert exit_code == 1
+        assert "error" in err
+
+    def test_method_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--dataset", "unicodelang", "--method", "quantum"])
+
+
+class TestGenerateCommand:
+    def test_generate_dense_graph(self, tmp_path, capsys):
+        path = tmp_path / "dense.txt"
+        exit_code = main(
+            ["generate", str(path), "--left", "10", "--right", "12", "--density", "0.5"]
+        )
+        assert exit_code == 0
+        graph = read_edge_list(path)
+        assert graph.num_left <= 10 and graph.num_right <= 12
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_sparse_graph(self, tmp_path):
+        path = tmp_path / "sparse.txt"
+        exit_code = main(
+            ["generate", str(path), "--left", "30", "--right", "30", "--avg-degree", "2.0"]
+        )
+        assert exit_code == 0
+        assert path.exists()
+
+    def test_generate_requires_exactly_one_model(self, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        exit_code = main(["generate", str(path), "--left", "5", "--right", "5"])
+        assert exit_code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestInformationCommands:
+    def test_datasets_lists_all_thirty(self, capsys):
+        exit_code = main(["datasets"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.count("\n") >= 30
+        assert "jester" in out and "dblp-author" in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestBenchCommand:
+    def test_bench_figure6(self, capsys):
+        exit_code = main(["bench", "figure6"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "bidegeneracy" in out

@@ -1,0 +1,79 @@
+"""Tests for the bipartite complement construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.complement import (
+    bipartite_complement,
+    complement_density,
+    max_missing_degree,
+    missing_degree_left,
+    missing_degree_right,
+)
+from repro.graph.generators import complete_bipartite, crown_graph, random_bipartite
+from repro.graph.validation import check_consistent
+
+
+class TestBipartiteComplement:
+    def test_complement_of_complete_graph_has_no_edges(self):
+        graph = complete_bipartite(4, 5)
+        complement = bipartite_complement(graph)
+        assert complement.num_edges == 0
+        assert complement.left == graph.left
+        assert complement.right == graph.right
+
+    def test_complement_of_empty_graph_is_complete(self):
+        graph = BipartiteGraph(left=[0, 1], right=[0, 1, 2])
+        complement = bipartite_complement(graph)
+        assert complement.num_edges == 6
+
+    def test_complement_is_involution(self):
+        graph = random_bipartite(6, 7, 0.4, seed=3)
+        assert bipartite_complement(bipartite_complement(graph)) == graph
+
+    def test_edge_counts_sum_to_full_grid(self):
+        graph = random_bipartite(5, 8, 0.3, seed=11)
+        complement = bipartite_complement(graph)
+        assert graph.num_edges + complement.num_edges == 5 * 8
+        check_consistent(complement)
+
+    def test_crown_graph_complement_is_perfect_matching(self):
+        graph = crown_graph(5)
+        complement = bipartite_complement(graph)
+        assert complement.num_edges == 5
+        assert all(complement.degree_left(u) == 1 for u in complement.left_vertices())
+
+    def test_isolated_vertices_are_preserved(self):
+        graph = BipartiteGraph(left=[1, 2], right=["a"], edges=[(1, "a")])
+        complement = bipartite_complement(graph)
+        assert complement.left == {1, 2}
+        assert complement.has_edge(2, "a")
+        assert not complement.has_edge(1, "a")
+
+
+class TestMissingDegrees:
+    def test_missing_degree_left_and_right(self):
+        graph = BipartiteGraph(left=[0, 1], right=[0, 1, 2], edges=[(0, 0), (0, 1)])
+        assert missing_degree_left(graph, 0) == 1
+        assert missing_degree_left(graph, 1) == 3
+        assert missing_degree_right(graph, 2) == 2
+
+    def test_max_missing_degree_matches_complement_max_degree(self):
+        graph = random_bipartite(6, 6, 0.5, seed=7)
+        complement = bipartite_complement(graph)
+        assert max_missing_degree(graph) == complement.max_degree()
+
+    def test_max_missing_degree_of_complete_graph_is_zero(self):
+        assert max_missing_degree(complete_bipartite(3, 4)) == 0
+
+
+class TestComplementDensity:
+    def test_complement_density_is_one_minus_density(self):
+        graph = random_bipartite(5, 5, 0.32, seed=2)
+        assert complement_density(graph) == pytest.approx(1.0 - graph.density)
+
+    def test_complement_density_of_empty_side(self):
+        graph = BipartiteGraph(left=[1])
+        assert complement_density(graph) == 0.0

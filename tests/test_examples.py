@@ -1,0 +1,27 @@
+"""Smoke tests: every example script runs end to end without errors."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, capsys, monkeypatch):
+    """Execute the example as ``__main__`` and require some printed output."""
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_directory_has_quickstart_plus_scenarios():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 4

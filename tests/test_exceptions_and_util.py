@@ -1,0 +1,74 @@
+"""Tests for the exception hierarchy and small internal utilities."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro._util import ensure_recursion_limit, recursion_headroom_for
+from repro.exceptions import (
+    BudgetExceededError,
+    DatasetError,
+    DuplicateVertexError,
+    GraphError,
+    GraphFormatError,
+    InvalidEdgeError,
+    InvalidParameterError,
+    ReproError,
+    SolverError,
+    VertexNotFoundError,
+)
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc_type in (
+            GraphError,
+            VertexNotFoundError,
+            DuplicateVertexError,
+            InvalidEdgeError,
+            GraphFormatError,
+            SolverError,
+            InvalidParameterError,
+            BudgetExceededError,
+            DatasetError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_vertex_errors_are_also_stdlib_errors(self):
+        # Callers that only know about KeyError / ValueError still catch them.
+        assert issubclass(VertexNotFoundError, KeyError)
+        assert issubclass(DuplicateVertexError, ValueError)
+        assert issubclass(InvalidParameterError, ValueError)
+
+    def test_vertex_not_found_carries_context(self):
+        error = VertexNotFoundError("L", 42)
+        assert error.side == "L"
+        assert error.vertex == 42
+        assert "42" in str(error)
+
+    def test_budget_exceeded_carries_best_so_far(self):
+        error = BudgetExceededError("out of nodes", best="partial")
+        assert error.best == "partial"
+
+    def test_catching_the_base_class_catches_subclasses(self):
+        with pytest.raises(ReproError):
+            raise DatasetError("missing")
+
+
+class TestRecursionUtilities:
+    def test_headroom_scales_with_vertices(self):
+        assert recursion_headroom_for(0) == 1000
+        assert recursion_headroom_for(100) == 1400
+        assert recursion_headroom_for(1000) > recursion_headroom_for(100)
+
+    def test_ensure_recursion_limit_only_raises(self):
+        original = sys.getrecursionlimit()
+        try:
+            ensure_recursion_limit(original - 100)
+            assert sys.getrecursionlimit() == original
+            ensure_recursion_limit(original + 123)
+            assert sys.getrecursionlimit() == original + 123
+        finally:
+            sys.setrecursionlimit(original)

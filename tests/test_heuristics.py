@@ -1,0 +1,118 @@
+"""Tests for the greedy heuristics and the hMBB stage (Algorithm 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    planted_balanced_biclique,
+    random_bipartite,
+    star_bipartite,
+)
+from repro.mbb.context import SearchContext
+from repro.mbb.heuristics import (
+    core_heuristic,
+    degree_heuristic,
+    greedy_extend,
+    h_mbb,
+)
+from repro.baselines.brute_force import brute_force_side_size
+
+
+class TestGreedyExtend:
+    def test_complete_graph_reaches_optimum(self):
+        graph = complete_bipartite(4, 4)
+        result = greedy_extend(graph, LEFT, 0)
+        assert result.side_size == 4
+        assert result.is_valid_in(graph)
+
+    def test_star_graph_single_edge(self):
+        graph = star_bipartite(5)
+        result = greedy_extend(graph, LEFT, 0)
+        assert result.side_size == 1
+
+    def test_seed_on_right_side(self):
+        graph = complete_bipartite(3, 5)
+        result = greedy_extend(graph, RIGHT, 0)
+        assert result.side_size == 3
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_result_is_always_a_valid_balanced_biclique(self, seed):
+        graph = random_bipartite(10, 10, 0.4, seed=seed)
+        for side, label in [(LEFT, 0), (RIGHT, 0)]:
+            result = greedy_extend(graph, side, label)
+            assert result.is_balanced
+            assert result.is_valid_in(graph)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_never_exceeds_optimum(self, seed):
+        graph = random_bipartite(8, 8, 0.5, seed=seed)
+        optimum = brute_force_side_size(graph)
+        assert greedy_extend(graph, LEFT, 0).side_size <= optimum
+
+
+class TestSeededHeuristics:
+    def test_degree_heuristic_validity(self):
+        graph = random_bipartite(15, 15, 0.4, seed=1)
+        result = degree_heuristic(graph, top_r=4)
+        assert result.is_balanced
+        assert result.is_valid_in(graph)
+
+    def test_core_heuristic_finds_planted_block(self):
+        graph = planted_balanced_biclique(40, 40, 6, background_density=0.03, seed=2)
+        result = core_heuristic(graph, top_r=6)
+        assert result.side_size >= 5  # the planted block dominates the cores
+
+    def test_degree_heuristic_on_empty_graph(self):
+        assert degree_heuristic(BipartiteGraph()).side_size == 0
+
+    def test_top_r_one_still_works(self):
+        graph = random_bipartite(10, 10, 0.5, seed=3)
+        assert degree_heuristic(graph, top_r=1).is_balanced
+
+
+class TestHMBB:
+    def test_outcome_fields(self):
+        graph = planted_balanced_biclique(30, 30, 5, background_density=0.05, seed=4)
+        outcome = h_mbb(graph)
+        assert outcome.best.is_valid_in(graph)
+        assert outcome.best.is_balanced
+        assert outcome.reduced_graph.num_vertices <= graph.num_vertices
+
+    def test_early_termination_on_complete_graph(self):
+        graph = complete_bipartite(5, 5)
+        outcome = h_mbb(graph)
+        # The heuristic reaches side 5 and the degeneracy bound certifies it.
+        assert outcome.best.side_size == 5
+        assert outcome.proven_optimal
+
+    def test_heuristic_never_exceeds_optimum(self):
+        for seed in range(8):
+            graph = random_bipartite(9, 9, 0.4, seed=seed)
+            outcome = h_mbb(graph)
+            assert outcome.best.side_size <= brute_force_side_size(graph)
+
+    def test_reduction_keeps_improving_bicliques(self):
+        for seed in range(6):
+            graph = random_bipartite(9, 9, 0.5, seed=seed)
+            optimum = brute_force_side_size(graph)
+            outcome = h_mbb(graph)
+            if outcome.proven_optimal:
+                assert outcome.best.side_size == optimum
+            else:
+                # The residual graph must still contain an optimum solution
+                # whenever the heuristic has not already found one.
+                residual_best = (
+                    brute_force_side_size(outcome.reduced_graph)
+                    if outcome.reduced_graph.num_vertices
+                    else 0
+                )
+                assert max(residual_best, outcome.best.side_size) == optimum
+
+    def test_shares_context_incumbent(self):
+        graph = complete_bipartite(4, 4)
+        context = SearchContext()
+        outcome = h_mbb(graph, context=context)
+        assert context.best_side == outcome.best.side_size

@@ -1,0 +1,98 @@
+"""End-to-end integration tests across the whole library.
+
+These tests exercise realistic flows: generate a workload, run every exact
+solver plus the baselines, and check that they all agree and produce valid
+results; load dataset stand-ins and run the sparse framework on them; pipe
+graphs through I/O before solving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BipartiteGraph,
+    bidegeneracy,
+    degeneracy,
+    maximum_balanced_biclique,
+    solve_mbb,
+)
+from repro.graph.generators import planted_balanced_biclique, random_bipartite
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.baselines.adapted import run_adapted_baseline
+from repro.baselines.brute_force import brute_force_side_size
+from repro.baselines.extbbclq import ext_bbclq
+from repro.baselines.mbe import adapted_fmbe, adapted_imbea
+from repro.baselines.mvb import mvb_total_size
+from repro.mbb.basic_bb import basic_bb
+from repro.mbb.dense import dense_mbb
+from repro.mbb.sparse import hbv_mbb, variant
+from repro.workloads.datasets import DATASETS, load_dataset
+
+
+class TestAllSolversAgree:
+    """Every exact algorithm in the library reports the same optimum."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_on_random_graphs(self, seed, random_graph_factory):
+        graph = random_graph_factory(seed, max_side=8)
+        oracle = brute_force_side_size(graph)
+        solvers = {
+            "basicBB": basic_bb(graph).side_size,
+            "denseMBB": dense_mbb(graph).side_size,
+            "hbvMBB": hbv_mbb(graph).side_size,
+            "extBBCl": ext_bbclq(graph).side_size,
+            "iMBEA": adapted_imbea(graph).side_size,
+            "FMBE": adapted_fmbe(graph).side_size,
+            "adp1": run_adapted_baseline(graph, "adp1", heuristic_iterations=100).side_size,
+            "solve_mbb": solve_mbb(graph).side_size,
+        }
+        assert all(value == oracle for value in solvers.values()), (seed, oracle, solvers)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_on_dense_graphs(self, seed):
+        graph = random_bipartite(10, 10, 0.85, seed=seed)
+        oracle = brute_force_side_size(graph)
+        assert dense_mbb(graph).side_size == oracle
+        assert hbv_mbb(graph).side_size == oracle
+        assert ext_bbclq(graph).side_size == oracle
+
+
+class TestTheoreticalRelationships:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_chain_of_bounds(self, seed):
+        """MBB side <= degeneracy <= bidegeneracy and 2*MBB <= MVB total."""
+        graph = random_bipartite(10, 10, 0.4, seed=seed)
+        side = solve_mbb(graph).side_size
+        assert side <= degeneracy(graph) <= bidegeneracy(graph)
+        assert 2 * side <= mvb_total_size(graph)
+
+
+class TestWorkloadFlows:
+    @pytest.mark.parametrize("name", ["unicodelang", "moreno-crime", "dbpedia-genre"])
+    def test_dataset_stand_in_end_to_end(self, name):
+        graph = load_dataset(name)
+        result = hbv_mbb(graph)
+        assert result.optimal
+        assert result.biclique.is_valid_in(graph)
+        # The planted community guarantees a lower bound on the optimum.
+        assert result.side_size >= DATASETS[name].planted_size
+
+    def test_planted_instance_through_public_api(self):
+        graph = planted_balanced_biclique(80, 80, 8, background_density=0.02, seed=9)
+        biclique = maximum_balanced_biclique(graph)
+        assert biclique.side_size >= 8
+        assert biclique.is_valid_in(graph)
+
+    def test_io_round_trip_then_solve(self, tmp_path):
+        graph = planted_balanced_biclique(20, 20, 4, background_density=0.05, seed=3)
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path)
+        reloaded = read_edge_list(path)
+        assert solve_mbb(reloaded).side_size == solve_mbb(graph).side_size
+
+    def test_variant_configs_agree_on_a_dataset(self):
+        graph = load_dataset("moreno-crime")
+        full = hbv_mbb(graph).side_size
+        for name in ("bd1", "bd4", "bd5"):
+            assert hbv_mbb(graph, config=variant(name)).side_size == full

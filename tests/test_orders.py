@@ -1,0 +1,74 @@
+"""Tests for the total search orders (degree / degeneracy / bidegeneracy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import LEFT, RIGHT
+from repro.graph.generators import random_bipartite, random_power_law_bipartite
+from repro.cores.orders import (
+    ALL_ORDERS,
+    ORDER_BIDEGENERACY,
+    ORDER_DEGENERACY,
+    ORDER_DEGREE,
+    degree_order,
+    search_order,
+)
+from repro.mbb.vertex_centred import total_subgraph_size
+
+
+class TestDegreeOrder:
+    def test_non_increasing_degrees(self):
+        graph = random_bipartite(8, 8, 0.4, seed=1)
+        order = degree_order(graph)
+
+        def degree(key):
+            side, label = key
+            return (
+                graph.degree_left(label) if side == LEFT else graph.degree_right(label)
+            )
+
+        degrees = [degree(key) for key in order]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_is_permutation(self):
+        graph = random_bipartite(6, 9, 0.3, seed=2)
+        order = degree_order(graph)
+        assert len(order) == graph.num_vertices
+        assert len(set(order)) == graph.num_vertices
+
+
+class TestSearchOrderDispatch:
+    @pytest.mark.parametrize("name", ALL_ORDERS)
+    def test_every_order_is_a_permutation(self, name):
+        graph = random_bipartite(7, 7, 0.35, seed=3)
+        order = search_order(graph, name)
+        assert len(order) == graph.num_vertices
+        assert len(set(order)) == graph.num_vertices
+        assert all(side in (LEFT, RIGHT) for side, _ in order)
+
+    def test_unknown_order_raises(self):
+        graph = random_bipartite(3, 3, 0.5, seed=1)
+        with pytest.raises(InvalidParameterError):
+            search_order(graph, "alphabetical")
+
+
+class TestOrderQuality:
+    def test_bidegeneracy_order_respects_lemma8_bound(self):
+        """Lemma 8: with the bidegeneracy order the total family size is
+        O((|L| + |R|) * bidegeneracy)."""
+        from repro.cores.bicore import bidegeneracy
+
+        graph = random_power_law_bipartite(120, 120, 3.0, seed=4)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        total = total_subgraph_size(graph, order)
+        assert total <= graph.num_vertices * (bidegeneracy(graph) + 1)
+
+    def test_bidegeneracy_order_close_to_degeneracy_order(self):
+        graph = random_power_law_bipartite(120, 120, 3.0, seed=4)
+        totals = {
+            name: total_subgraph_size(graph, search_order(graph, name))
+            for name in (ORDER_DEGENERACY, ORDER_BIDEGENERACY)
+        }
+        assert totals[ORDER_BIDEGENERACY] <= 1.25 * totals[ORDER_DEGENERACY]

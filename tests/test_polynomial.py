@@ -1,0 +1,127 @@
+"""Tests for the polynomial-time solver on near-complete subgraphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    crown_graph,
+    random_bipartite,
+    random_near_complete_bipartite,
+)
+from repro.mbb.context import SearchContext
+from repro.mbb.polynomial import (
+    component_choices,
+    is_polynomially_solvable,
+    maximum_balanced_biclique_near_complete,
+    missing_neighbors,
+    solve_polynomial_case,
+)
+from repro.mbb.reductions import NodeState
+from repro.baselines.brute_force import brute_force_mbb
+
+
+def _full_state(graph: BipartiteGraph) -> NodeState:
+    return NodeState(set(), set(), graph.left, graph.right)
+
+
+class TestIsPolynomiallySolvable:
+    def test_complete_graph_is_solvable(self):
+        graph = complete_bipartite(4, 4)
+        assert is_polynomially_solvable(graph, _full_state(graph))
+
+    def test_crown_graph_is_solvable(self):
+        graph = crown_graph(5)
+        assert is_polynomially_solvable(graph, _full_state(graph))
+
+    def test_sparse_graph_is_not(self):
+        graph = random_bipartite(6, 6, 0.2, seed=1)
+        assert not is_polynomially_solvable(graph, _full_state(graph))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_near_complete_generator_is_always_solvable(self, seed):
+        graph = random_near_complete_bipartite(7, 6, max_missing=2, seed=seed)
+        assert is_polynomially_solvable(graph, _full_state(graph))
+
+
+class TestMissingNeighbors:
+    def test_complement_adjacency_restricted_to_candidates(self):
+        graph = crown_graph(3)
+        complement = missing_neighbors(graph, _full_state(graph))
+        # The crown complement is a perfect matching: every vertex misses
+        # exactly one neighbour.
+        assert all(len(misses) == 1 for misses in complement.values())
+        assert complement[(LEFT, 0)] == {(RIGHT, 0)}
+
+
+class TestComponentChoices:
+    def test_path_choices_are_independent_sets(self):
+        # Path u0 - v0 - u1 in the complement: choices are {u0,u1}, {v0}, ...
+        sequence = [(LEFT, 0), (RIGHT, 0), (LEFT, 1)]
+        choices = component_choices(sequence, is_cycle=False)
+        pairs = {(c.a, c.b) for c in choices}
+        assert (2, 0) in pairs  # both left endpoints
+        assert (0, 1) in pairs  # the middle right vertex alone
+        assert all(c.a + c.b <= 2 for c in choices)
+
+    def test_cycle_choices_exclude_adjacent_pairs(self):
+        # 4-cycle in the complement: at most one vertex per complement edge.
+        sequence = [(LEFT, 0), (RIGHT, 0), (LEFT, 1), (RIGHT, 1)]
+        choices = component_choices(sequence, is_cycle=True)
+        pairs = {(c.a, c.b) for c in choices}
+        assert (2, 0) in pairs
+        assert (0, 2) in pairs
+        assert (2, 1) not in pairs and (1, 2) not in pairs
+
+    def test_empty_sequence(self):
+        choices = component_choices([], is_cycle=False)
+        assert len(choices) == 1
+        assert choices[0].a == 0 and choices[0].b == 0
+
+
+class TestSolvePolynomialCase:
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_crown_graphs_have_half_n_optimum(self, n):
+        graph = crown_graph(n)
+        result = maximum_balanced_biclique_near_complete(graph)
+        assert result.side_size == n // 2
+        assert result.is_valid_in(graph)
+
+    def test_complete_graph(self):
+        graph = complete_bipartite(5, 3)
+        result = maximum_balanced_biclique_near_complete(graph)
+        assert result.side_size == 3
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_brute_force_on_near_complete_graphs(self, seed):
+        graph = random_near_complete_bipartite(7, 7, max_missing=2, seed=seed)
+        expected = brute_force_mbb(graph).side_size
+        result = maximum_balanced_biclique_near_complete(graph)
+        assert result.side_size == expected
+        assert result.is_valid_in(graph)
+        assert result.is_balanced
+
+    def test_rejects_graphs_outside_lemma3(self):
+        graph = random_bipartite(8, 8, 0.3, seed=2)
+        if not is_polynomially_solvable(graph, _full_state(graph)):
+            with pytest.raises(ValueError):
+                maximum_balanced_biclique_near_complete(graph)
+
+    def test_returns_none_when_incumbent_already_better(self):
+        graph = complete_bipartite(2, 2)
+        context = SearchContext()
+        context.offer([0, 1, 2], [0, 1, 2])  # incumbent side 3 (fictional)
+        result = solve_polynomial_case(graph, _full_state(graph), context)
+        assert result is None
+
+    def test_respects_partial_result(self):
+        # Partial result (A={0}, B={0}) with candidates forming a complete
+        # 2x2 block on {1,2} x {1,2}: the extension reaches side 3.
+        graph = complete_bipartite(3, 3)
+        state = NodeState({0}, {0}, {1, 2}, {1, 2})
+        context = SearchContext()
+        result = solve_polynomial_case(graph, state, context)
+        assert result is not None
+        assert result.side_size == 3

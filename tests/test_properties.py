@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) for core invariants of the library."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.complement import bipartite_complement
+from repro.graph.validation import check_consistent, is_biclique
+from repro.cores.core import core_numbers, degeneracy, k_core
+from repro.cores.bicore import bicore_numbers, bidegeneracy
+from repro.cores.two_hop import n_le2_sizes
+from repro.mbb.dense import dense_mbb
+from repro.mbb.sparse import hbv_mbb
+from repro.mbb.result import Biclique
+from repro.baselines.brute_force import brute_force_mbb
+from repro.baselines.mvb import maximum_vertex_biclique
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def bipartite_graphs(draw, max_left: int = 7, max_right: int = 7):
+    """Random small bipartite graphs with arbitrary edge subsets."""
+    n_left = draw(st.integers(min_value=0, max_value=max_left))
+    n_right = draw(st.integers(min_value=0, max_value=max_right))
+    graph = BipartiteGraph(left=range(n_left), right=range(n_right))
+    if n_left and n_right:
+        pairs = [(u, v) for u in range(n_left) for v in range(n_right)]
+        chosen = draw(
+            st.lists(st.sampled_from(pairs), max_size=len(pairs), unique=True)
+        )
+        for u, v in chosen:
+            graph.add_edge(u, v)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Graph substrate invariants
+# ----------------------------------------------------------------------
+@given(bipartite_graphs())
+@settings(max_examples=60, deadline=None)
+def test_generated_graphs_are_internally_consistent(graph):
+    check_consistent(graph)
+
+
+@given(bipartite_graphs())
+@settings(max_examples=60, deadline=None)
+def test_complement_is_involution_and_partitions_edges(graph):
+    complement = bipartite_complement(graph)
+    assert graph.num_edges + complement.num_edges == graph.num_left * graph.num_right
+    assert bipartite_complement(complement) == graph
+
+
+@given(bipartite_graphs())
+@settings(max_examples=60, deadline=None)
+def test_biadjacency_round_trip(graph):
+    matrix, left_order, right_order = graph.to_biadjacency()
+    rebuilt = BipartiteGraph.from_biadjacency(matrix)
+    assert rebuilt.num_edges == graph.num_edges
+
+
+# ----------------------------------------------------------------------
+# Core / bicore invariants
+# ----------------------------------------------------------------------
+@given(bipartite_graphs())
+@settings(max_examples=50, deadline=None)
+def test_core_numbers_bounded_by_degree(graph):
+    numbers = core_numbers(graph)
+    for (side, label), value in numbers.items():
+        degree = (
+            graph.degree_left(label) if side == LEFT else graph.degree_right(label)
+        )
+        assert 0 <= value <= degree
+
+
+@given(bipartite_graphs())
+@settings(max_examples=50, deadline=None)
+def test_k_core_is_induced_and_has_min_degree_k(graph):
+    delta = degeneracy(graph)
+    for k in range(1, delta + 1):
+        core = k_core(graph, k)
+        for u in core.left_vertices():
+            assert core.degree_left(u) >= k
+        for v in core.right_vertices():
+            assert core.degree_right(v) >= k
+
+
+@given(bipartite_graphs())
+@settings(max_examples=50, deadline=None)
+def test_bicore_numbers_bounded_by_n_le2_and_bidegeneracy_at_least_degeneracy(graph):
+    numbers = bicore_numbers(graph)
+    sizes = n_le2_sizes(graph)
+    for key, value in numbers.items():
+        assert 0 <= value <= sizes[key]
+    # |N_<=2(u)| >= |N(u)|, so the bicore/bidegeneracy dominates the core
+    # counterparts.
+    assert bidegeneracy(graph) >= degeneracy(graph)
+
+
+# ----------------------------------------------------------------------
+# Solver invariants
+# ----------------------------------------------------------------------
+@given(bipartite_graphs())
+@settings(max_examples=40, deadline=None)
+def test_dense_solver_matches_oracle_and_returns_valid_biclique(graph):
+    result = dense_mbb(graph)
+    oracle = brute_force_mbb(graph)
+    assert result.side_size == oracle.side_size
+    assert result.biclique.is_balanced
+    assert is_biclique(graph, result.biclique.left, result.biclique.right)
+
+
+@given(bipartite_graphs())
+@settings(max_examples=30, deadline=None)
+def test_sparse_framework_matches_oracle(graph):
+    result = hbv_mbb(graph)
+    assert result.side_size == brute_force_mbb(graph).side_size
+
+
+@given(bipartite_graphs())
+@settings(max_examples=30, deadline=None)
+def test_mvb_upper_bounds_mbb(graph):
+    mvb = maximum_vertex_biclique(graph)
+    mbb = brute_force_mbb(graph)
+    assert 2 * mbb.side_size <= mvb.total_size
+    assert is_biclique(graph, mvb.left, mvb.right)
+
+
+# ----------------------------------------------------------------------
+# Biclique value object
+# ----------------------------------------------------------------------
+@given(
+    st.sets(st.integers(min_value=0, max_value=20), max_size=8),
+    st.sets(st.integers(min_value=0, max_value=20), max_size=8),
+)
+def test_biclique_balancing_properties(left, right):
+    biclique = Biclique.of(left, right)
+    balanced = biclique.balanced()
+    assert balanced.is_balanced
+    assert balanced.side_size == biclique.side_size
+    assert balanced.left <= biclique.left
+    assert balanced.right <= biclique.right
+
+
+@given(bipartite_graphs(max_left=5, max_right=5))
+@settings(max_examples=40, deadline=None)
+def test_adding_edges_never_decreases_the_optimum(graph):
+    base = brute_force_mbb(graph).side_size
+    denser = graph.copy()
+    for u in list(denser.left_vertices())[:2]:
+        for v in list(denser.right_vertices())[:2]:
+            denser.add_edge(u, v)
+    assert brute_force_mbb(denser).side_size >= base

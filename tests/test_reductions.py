@@ -1,0 +1,100 @@
+"""Tests for the Lemma 1 / Lemma 2 / Lemma 4 reduction rules."""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import complete_bipartite, random_bipartite
+from repro.cores.core import degeneracy
+from repro.mbb.context import SearchContext
+from repro.mbb.reductions import NodeState, core_reduce, reduce_node
+from repro.baselines.brute_force import brute_force_side_size
+
+
+def _fresh_state(graph: BipartiteGraph) -> NodeState:
+    return NodeState(set(), set(), graph.left, graph.right)
+
+
+class TestNodeState:
+    def test_copy_is_deep(self):
+        state = NodeState({1}, {2}, {3}, {4})
+        clone = state.copy()
+        clone.a.add(99)
+        assert 99 not in state.a
+
+    def test_upper_bound_side(self):
+        state = NodeState({1}, set(), {2, 3}, {4})
+        assert state.upper_bound_side == min(3, 1)
+
+
+class TestAllConnectionRule:
+    def test_forces_universal_candidates(self):
+        graph = complete_bipartite(3, 3)
+        context = SearchContext()
+        state = _fresh_state(graph)
+        reduce_node(graph, state, context)
+        # In a complete bipartite graph every candidate is universal, so the
+        # reduction should move everything into the partial result.
+        assert state.a == {0, 1, 2}
+        assert state.b == {0, 1, 2}
+        assert not state.ca and not state.cb
+        assert context.stats.reductions_forced == 6
+
+    def test_keeps_non_universal_candidates(self):
+        graph = BipartiteGraph(edges=[(0, 0), (0, 1), (1, 0)])
+        context = SearchContext()
+        state = _fresh_state(graph)
+        reduce_node(graph, state, context)
+        # Vertex 0 (left) is adjacent to both right candidates so it is
+        # forced; vertex 1 (left) misses right vertex 1 and must stay a
+        # candidate (or be removed by Lemma 2 only when an incumbent exists).
+        assert 0 in state.a
+        assert 1 not in state.a
+
+
+class TestLowDegreeRule:
+    def test_removes_hopeless_candidates(self):
+        # Two disjoint bicliques: a 3x3 block and a single extra edge.
+        graph = BipartiteGraph()
+        for u in range(3):
+            for v in range(3):
+                graph.add_edge(u, v)
+        graph.add_edge(10, 10)
+        context = SearchContext()
+        context.offer([0, 1], [0, 1])  # incumbent side 2
+        state = _fresh_state(graph)
+        reduce_node(graph, state, context)
+        # The pendant edge endpoints cannot reach side size 3: removed.
+        assert 10 not in state.ca and 10 not in state.a
+        assert 10 not in state.cb and 10 not in state.b
+
+    def test_reduction_preserves_optimum(self):
+        for seed in range(10):
+            graph = random_bipartite(7, 7, 0.5, seed=seed)
+            optimum = brute_force_side_size(graph)
+            context = SearchContext()
+            state = _fresh_state(graph)
+            reduce_node(graph, state, context)
+            # Solving the reduced instance (candidates plus forced vertices)
+            # still yields the optimum.
+            remaining = graph.induced_subgraph(
+                state.a | state.ca, state.b | state.cb
+            )
+            assert brute_force_side_size(remaining) == optimum
+
+
+class TestCoreReduce:
+    def test_core_reduce_keeps_improving_bicliques(self):
+        for seed in range(8):
+            graph = random_bipartite(8, 8, 0.4, seed=seed)
+            optimum = brute_force_side_size(graph)
+            if optimum == 0:
+                continue
+            reduced = core_reduce(graph, optimum - 1)
+            assert brute_force_side_size(reduced) == optimum
+
+    def test_core_reduce_against_degeneracy(self):
+        graph = random_bipartite(10, 10, 0.3, seed=3)
+        best_side = degeneracy(graph)
+        reduced = core_reduce(graph, best_side)
+        # Nothing can have degree >= degeneracy + 1 everywhere.
+        assert reduced.num_vertices == 0 or degeneracy(reduced) >= best_side + 1

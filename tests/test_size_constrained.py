@@ -1,0 +1,111 @@
+"""Tests for the size-constrained (a, b) biclique problem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    crown_graph,
+    grid_union_of_bicliques,
+    random_bipartite,
+    star_bipartite,
+)
+from repro.graph.validation import is_biclique
+from repro.mbb.size_constrained import (
+    balanced_side_from_profile,
+    find_biclique_of_size,
+    has_biclique_of_size,
+    maximal_biclique_profile,
+)
+from repro.baselines.brute_force import brute_force_side_size
+
+
+class TestFindBicliqueOfSize:
+    def test_zero_targets_always_satisfiable(self):
+        assert find_biclique_of_size(BipartiteGraph(), 0, 0) is not None
+
+    def test_targets_larger_than_sides_fail_fast(self):
+        graph = complete_bipartite(3, 3)
+        assert find_biclique_of_size(graph, 4, 1) is None
+        assert find_biclique_of_size(graph, 1, 4) is None
+
+    def test_negative_targets_raise(self):
+        with pytest.raises(InvalidParameterError):
+            find_biclique_of_size(complete_bipartite(2, 2), -1, 0)
+
+    def test_complete_graph_all_feasible_pairs(self):
+        graph = complete_bipartite(3, 4)
+        for a in range(0, 4):
+            for b in range(0, 5):
+                witness = find_biclique_of_size(graph, a, b)
+                assert witness is not None
+                assert len(witness.left) >= a and len(witness.right) >= b
+                assert is_biclique(graph, witness.left, witness.right)
+
+    def test_star_graph(self):
+        graph = star_bipartite(4)
+        assert has_biclique_of_size(graph, 1, 4)
+        assert not has_biclique_of_size(graph, 2, 1)
+
+    def test_crown_graph_asymmetric_instances(self):
+        graph = crown_graph(4)
+        # Any 1 left vertex is adjacent to 3 right vertices.
+        assert has_biclique_of_size(graph, 1, 3)
+        assert not has_biclique_of_size(graph, 1, 4)
+        # Balanced (2, 2) exists, (3, 3) does not (complement matching).
+        assert has_biclique_of_size(graph, 2, 2)
+        assert not has_biclique_of_size(graph, 3, 3)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_consistency_with_mbb_oracle(self, seed):
+        graph = random_bipartite(7, 7, 0.5, seed=seed)
+        optimum = brute_force_side_size(graph)
+        assert has_biclique_of_size(graph, optimum, optimum) or optimum == 0
+        assert not has_biclique_of_size(graph, optimum + 1, optimum + 1)
+
+    def test_witness_is_a_real_biclique(self):
+        graph = grid_union_of_bicliques([3, 2], noise_edges=3, seed=1)
+        witness = find_biclique_of_size(graph, 2, 3)
+        if witness is not None:
+            assert is_biclique(graph, witness.left, witness.right)
+
+    def test_budget_returns_none(self):
+        graph = random_bipartite(15, 15, 0.5, seed=2)
+        assert find_biclique_of_size(graph, 6, 6, node_budget=1) is None
+
+
+class TestMaximalBicliqueProfile:
+    def test_complete_graph_profile(self):
+        graph = complete_bipartite(2, 3)
+        profile = maximal_biclique_profile(graph)
+        assert (2, 3) in profile
+        # In a complete graph the only Pareto-maximal pair is the full one.
+        assert profile == [(2, 3)]
+
+    def test_star_graph_profile(self):
+        graph = star_bipartite(3)
+        profile = maximal_biclique_profile(graph)
+        assert (1, 3) in profile
+        assert all(b <= 3 for _, b in profile)
+
+    def test_profile_is_pareto(self):
+        graph = grid_union_of_bicliques([3, 1])
+        profile = maximal_biclique_profile(graph)
+        for i, (a1, b1) in enumerate(profile):
+            for j, (a2, b2) in enumerate(profile):
+                if i != j:
+                    assert not (a1 <= a2 and b1 <= b2), profile
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_balanced_side_from_profile_matches_mbb(self, seed):
+        graph = random_bipartite(6, 6, 0.5, seed=seed)
+        profile = maximal_biclique_profile(graph)
+        assert balanced_side_from_profile(profile) == brute_force_side_size(graph)
+
+    def test_max_side_cap(self):
+        graph = complete_bipartite(5, 5)
+        profile = maximal_biclique_profile(graph, max_side=2)
+        assert all(a <= 2 and b <= 2 for a, b in profile)

@@ -1,0 +1,82 @@
+"""Tests for the unified public solver API (solve_mbb)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Biclique,
+    BipartiteGraph,
+    maximum_balanced_biclique,
+    solve_mbb,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import (
+    complete_bipartite,
+    random_bipartite,
+    random_power_law_bipartite,
+)
+from repro.mbb.solver import (
+    METHOD_BASIC,
+    METHOD_DENSE,
+    METHOD_SPARSE,
+    choose_method,
+)
+from repro.baselines.brute_force import brute_force_side_size
+
+
+class TestSolveMBB:
+    @pytest.mark.parametrize("method", ["auto", METHOD_DENSE, METHOD_SPARSE, METHOD_BASIC])
+    def test_all_methods_agree_with_oracle(self, method, random_graph_factory):
+        for seed in range(6):
+            graph = random_graph_factory(seed, max_side=8)
+            result = solve_mbb(graph, method=method)
+            assert result.side_size == brute_force_side_size(graph)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(InvalidParameterError):
+            solve_mbb(BipartiteGraph(), method="quantum")
+
+    def test_docstring_example(self):
+        graph = BipartiteGraph(
+            edges=[(0, "x"), (0, "y"), (1, "x"), (1, "y"), (2, "y")]
+        )
+        result = solve_mbb(graph)
+        assert result.side_size == 2
+        assert sorted(result.biclique.left) == [0, 1]
+        assert sorted(result.biclique.right) == ["x", "y"]
+
+    def test_maximum_balanced_biclique_returns_biclique(self):
+        graph = complete_bipartite(3, 4)
+        biclique = maximum_balanced_biclique(graph)
+        assert isinstance(biclique, Biclique)
+        assert biclique.side_size == 3
+
+    def test_budgets_are_forwarded(self):
+        graph = random_bipartite(20, 20, 0.5, seed=1)
+        result = solve_mbb(graph, method=METHOD_BASIC, node_budget=2)
+        assert not result.optimal
+
+    def test_sparse_config_is_forwarded(self):
+        from repro import SparseConfig
+
+        graph = random_power_law_bipartite(50, 50, 2.0, seed=2)
+        result = solve_mbb(
+            graph, method=METHOD_SPARSE, sparse_config=SparseConfig(order="degree")
+        )
+        # Cross-check against the dense solver (the oracle cannot enumerate
+        # a 50-vertex side).
+        assert result.side_size == solve_mbb(graph, method=METHOD_DENSE).side_size
+
+
+class TestChooseMethod:
+    def test_small_graphs_go_dense(self):
+        assert choose_method(random_bipartite(4, 4, 0.1, seed=1)) == METHOD_DENSE
+
+    def test_large_sparse_graphs_go_sparse(self):
+        graph = random_power_law_bipartite(200, 200, 2.0, seed=1)
+        assert choose_method(graph) == METHOD_SPARSE
+
+    def test_large_dense_graphs_go_dense(self):
+        graph = random_bipartite(40, 40, 0.8, seed=1)
+        assert choose_method(graph) == METHOD_DENSE

@@ -1,0 +1,122 @@
+"""Tests for the sparse framework hbvMBB (Algorithm 4) and its variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    complete_bipartite,
+    grid_union_of_bicliques,
+    planted_balanced_biclique,
+    random_bipartite,
+    random_power_law_bipartite,
+)
+from repro.mbb.result import STEP_BRIDGE, STEP_HEURISTIC, STEP_VERIFY
+from repro.mbb.sparse import (
+    CONFIG_FULL,
+    SparseConfig,
+    VARIANT_CONFIGS,
+    hbv_mbb,
+    sparse_mbb,
+    variant,
+    variant_with_budget,
+)
+from repro.baselines.brute_force import brute_force_side_size
+
+
+class TestHbvMBBCorrectness:
+    def test_empty_graph(self):
+        result = hbv_mbb(BipartiteGraph())
+        assert result.side_size == 0
+        assert result.optimal
+
+    def test_complete_graph_terminates_at_heuristic_stage(self):
+        result = hbv_mbb(complete_bipartite(6, 6))
+        assert result.side_size == 6
+        assert result.terminated_at == STEP_HEURISTIC
+
+    def test_union_of_blocks(self):
+        result = hbv_mbb(grid_union_of_bicliques([5, 3, 2]))
+        assert result.side_size == 5
+
+    def test_planted_biclique_in_sparse_background(self):
+        graph = planted_balanced_biclique(60, 60, 7, background_density=0.02, seed=3)
+        result = hbv_mbb(graph)
+        assert result.side_size >= 7
+
+    @pytest.mark.parametrize("seed", range(18))
+    def test_matches_brute_force(self, seed, random_graph_factory):
+        graph = random_graph_factory(seed, max_side=9)
+        result = hbv_mbb(graph)
+        assert result.side_size == brute_force_side_size(graph)
+        assert result.biclique.is_valid_in(graph)
+        assert result.biclique.is_balanced
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sparse_power_law_graphs(self, seed):
+        from repro.mbb.dense import dense_mbb
+
+        graph = random_power_law_bipartite(40, 40, 2.5, seed=seed)
+        result = hbv_mbb(graph)
+        # Graphs of this size are out of reach for the brute-force oracle;
+        # cross-check against the (independently tested) dense solver.
+        assert result.side_size == dense_mbb(graph).side_size
+
+    def test_terminating_step_is_always_reported(self):
+        for seed in range(5):
+            graph = random_bipartite(10, 10, 0.3, seed=seed)
+            result = hbv_mbb(graph)
+            assert result.terminated_at in (STEP_HEURISTIC, STEP_BRIDGE, STEP_VERIFY)
+
+
+class TestVariants:
+    @pytest.mark.parametrize("name", sorted(VARIANT_CONFIGS))
+    def test_every_variant_is_exact(self, name):
+        for seed in range(5):
+            graph = random_bipartite(8, 8, 0.45, seed=seed)
+            optimum = brute_force_side_size(graph)
+            result = hbv_mbb(graph, config=variant(name))
+            assert result.side_size == optimum, (name, seed)
+
+    def test_variant_lookup_errors(self):
+        with pytest.raises(KeyError):
+            variant("bd99")
+
+    def test_variant_with_budget(self):
+        config = variant_with_budget("bd2", time_budget=1.5)
+        assert config.time_budget == 1.5
+        assert not config.use_core_pruning
+
+    def test_bd2_falls_back_to_degree_order(self):
+        config = variant("bd2")
+        assert config.effective_order == "degree"
+
+    def test_bd3_uses_naive_branching(self):
+        from repro.mbb.dense import BRANCH_NAIVE
+
+        assert variant("bd3").branching == BRANCH_NAIVE
+
+
+class TestSparseConfigOptions:
+    def test_initial_best_is_used(self):
+        graph = complete_bipartite(3, 3)
+        from repro.mbb.result import Biclique
+
+        seeded = hbv_mbb(
+            graph, initial_best=Biclique.of(range(10), range(10))
+        )
+        assert seeded.side_size == 10  # fictional incumbent survives
+
+    def test_sparse_mbb_alias(self):
+        graph = random_bipartite(8, 8, 0.4, seed=1)
+        assert sparse_mbb(graph).side_size == hbv_mbb(graph).side_size
+
+    def test_node_budget_gives_best_effort(self):
+        graph = random_bipartite(30, 30, 0.3, seed=2)
+        config = SparseConfig(use_heuristic=False, node_budget=1)
+        result = hbv_mbb(graph, config=config)
+        assert result.biclique.is_valid_in(graph)
+
+    def test_full_config_is_default(self):
+        assert CONFIG_FULL == SparseConfig()

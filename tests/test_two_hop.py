@@ -1,0 +1,64 @@
+"""Tests for 2-hop neighbourhood computations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.generators import complete_bipartite, path_bipartite, random_bipartite
+from repro.cores.two_hop import (
+    n2_neighbors,
+    n_le2_adjacency,
+    n_le2_neighbors,
+    n_le2_sizes,
+)
+
+
+class TestN2Neighbors:
+    def test_simple_chain(self):
+        # 1 - a - 2 - b - 3 : vertex 2 has 2-hop neighbours {1, 3}.
+        graph = BipartiteGraph(edges=[(1, "a"), (2, "a"), (2, "b"), (3, "b")])
+        assert n2_neighbors(graph, LEFT, 2) == {(LEFT, 1), (LEFT, 3)}
+        assert n2_neighbors(graph, LEFT, 1) == {(LEFT, 2)}
+        assert n2_neighbors(graph, RIGHT, "a") == {(RIGHT, "b")}
+
+    def test_no_two_hop_for_isolated_vertex(self):
+        graph = BipartiteGraph(left=[1], right=["a"])
+        assert n2_neighbors(graph, LEFT, 1) == set()
+
+    def test_complete_graph_two_hop_is_whole_same_side(self):
+        graph = complete_bipartite(4, 3)
+        assert n2_neighbors(graph, LEFT, 0) == {(LEFT, u) for u in range(1, 4)}
+
+
+class TestNLe2:
+    def test_union_of_one_and_two_hop(self):
+        graph = BipartiteGraph(edges=[(1, "a"), (2, "a"), (2, "b"), (3, "b")])
+        assert n_le2_neighbors(graph, LEFT, 2) == {
+            (LEFT, 1),
+            (LEFT, 3),
+            (RIGHT, "a"),
+            (RIGHT, "b"),
+        }
+
+    def test_sizes_match_explicit_neighbourhoods(self):
+        graph = random_bipartite(7, 8, 0.3, seed=5)
+        sizes = n_le2_sizes(graph)
+        for u in graph.left_vertices():
+            assert sizes[(LEFT, u)] == len(n_le2_neighbors(graph, LEFT, u))
+        for v in graph.right_vertices():
+            assert sizes[(RIGHT, v)] == len(n_le2_neighbors(graph, RIGHT, v))
+
+    def test_adjacency_is_symmetric(self):
+        graph = random_bipartite(6, 6, 0.4, seed=8)
+        adjacency = n_le2_adjacency(graph)
+        for key, neighbours in adjacency.items():
+            for other in neighbours:
+                assert key in adjacency[other]
+
+    def test_path_graph_sizes(self):
+        graph = path_bipartite(4)  # 5 vertices in a path
+        sizes = n_le2_sizes(graph)
+        # Interior vertices of a path see 2 one-hop + up to 2 two-hop vertices.
+        assert max(sizes.values()) <= 4
+        assert min(sizes.values()) >= 1

@@ -1,0 +1,82 @@
+"""Tests for the structural validators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import complete_bipartite, random_bipartite
+from repro.graph.validation import (
+    assert_valid_biclique,
+    check_consistent,
+    degree_histogram,
+    is_balanced_biclique,
+    is_biclique,
+)
+
+
+class TestCheckConsistent:
+    def test_random_graphs_are_consistent(self):
+        for seed in range(5):
+            check_consistent(random_bipartite(6, 7, 0.4, seed=seed))
+
+    def test_tampered_graph_is_detected(self):
+        graph = BipartiteGraph(edges=[(1, "a"), (2, "b")])
+        # Reach into the internals to break the invariant on purpose.
+        graph.neighbors_left(1).add("b")
+        with pytest.raises(GraphError):
+            check_consistent(graph)
+
+
+class TestIsBiclique:
+    def test_complete_graph_subsets(self):
+        graph = complete_bipartite(3, 4)
+        assert is_biclique(graph, [0, 1], [0, 1, 2])
+        assert is_balanced_biclique(graph, [0, 1], [2, 3])
+        assert not is_balanced_biclique(graph, [0, 1], [0])
+
+    def test_missing_edge_fails(self):
+        graph = BipartiteGraph(edges=[(1, "a"), (2, "a")])
+        assert is_biclique(graph, [1, 2], ["a"])
+        assert not is_biclique(graph, [1, 2], ["a", "b"])
+
+    def test_missing_vertex_fails_quietly(self):
+        graph = BipartiteGraph(edges=[(1, "a")])
+        assert not is_biclique(graph, [99], ["a"])
+        assert not is_biclique(graph, [1], ["zz"])
+
+    def test_empty_sets_form_a_biclique(self):
+        graph = BipartiteGraph(edges=[(1, "a")])
+        assert is_biclique(graph, [], [])
+        assert is_balanced_biclique(graph, [], [])
+
+
+class TestAssertValidBiclique:
+    def test_accepts_valid_balanced_biclique(self):
+        graph = complete_bipartite(2, 2)
+        assert_valid_biclique(graph, [0, 1], [0, 1])
+
+    def test_rejects_unbalanced_when_required(self):
+        graph = complete_bipartite(2, 2)
+        with pytest.raises(GraphError):
+            assert_valid_biclique(graph, [0, 1], [0])
+        assert_valid_biclique(graph, [0, 1], [0], balanced=False)
+
+    def test_rejects_non_biclique(self):
+        graph = BipartiteGraph(edges=[(0, 0), (1, 1)])
+        with pytest.raises(GraphError):
+            assert_valid_biclique(graph, [0, 1], [0, 1])
+
+
+class TestDegreeHistogram:
+    def test_complete_graph_histogram(self):
+        left_hist, right_hist = degree_histogram(complete_bipartite(3, 5))
+        assert left_hist == {5: 3}
+        assert right_hist == {3: 5}
+
+    def test_histogram_counts_sum_to_vertex_counts(self):
+        graph = random_bipartite(7, 9, 0.3, seed=1)
+        left_hist, right_hist = degree_histogram(graph)
+        assert sum(left_hist.values()) == 7
+        assert sum(right_hist.values()) == 9

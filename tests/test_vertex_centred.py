@@ -1,0 +1,86 @@
+"""Tests for vertex-centred subgraph generation (Definition 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import LEFT, RIGHT
+from repro.graph.generators import complete_bipartite, random_bipartite
+from repro.cores.orders import ALL_ORDERS, ORDER_BIDEGENERACY, search_order
+from repro.cores.bicore import bidegeneracy
+from repro.mbb.vertex_centred import (
+    iter_vertex_centred_subgraphs,
+    subgraph_density_profile,
+    total_subgraph_size,
+)
+from repro.baselines.brute_force import brute_force_mbb, brute_force_side_size
+
+
+class TestSubgraphConstruction:
+    def test_one_subgraph_per_vertex(self):
+        graph = random_bipartite(6, 6, 0.4, seed=1)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        subs = list(iter_vertex_centred_subgraphs(graph, order))
+        assert len(subs) == graph.num_vertices
+
+    def test_center_is_inside_its_subgraph(self):
+        graph = random_bipartite(6, 6, 0.4, seed=2)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        for sub in iter_vertex_centred_subgraphs(graph, order):
+            side, label = sub.center
+            if side == LEFT:
+                assert sub.graph.has_left_vertex(label)
+            else:
+                assert sub.graph.has_right_vertex(label)
+
+    def test_subgraphs_only_contain_later_vertices(self):
+        graph = random_bipartite(7, 7, 0.4, seed=3)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        positions = {key: index for index, key in enumerate(order)}
+        for sub in iter_vertex_centred_subgraphs(graph, order):
+            for u in sub.graph.left_vertices():
+                assert positions[(LEFT, u)] >= sub.position
+            for v in sub.graph.right_vertices():
+                assert positions[(RIGHT, v)] >= sub.position
+
+    def test_last_vertex_subgraph_is_just_itself(self):
+        graph = complete_bipartite(3, 3)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        subs = list(iter_vertex_centred_subgraphs(graph, order))
+        assert subs[-1].size == 1
+
+
+class TestCoveringProperty:
+    @pytest.mark.parametrize("order_name", ALL_ORDERS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_optimum_is_preserved_by_the_family(self, order_name, seed):
+        """Observations 4-5: some centred subgraph contains an optimum MBB."""
+        graph = random_bipartite(7, 7, 0.5, seed=seed)
+        optimum = brute_force_side_size(graph)
+        if optimum == 0:
+            return
+        order = search_order(graph, order_name)
+        best_in_family = 0
+        for sub in iter_vertex_centred_subgraphs(graph, order):
+            if min(sub.graph.num_left, sub.graph.num_right) < optimum:
+                continue
+            best_in_family = max(
+                best_in_family, brute_force_side_size(sub.graph)
+            )
+        assert best_in_family == optimum
+
+
+class TestSizeBounds:
+    def test_total_size_bound_for_bidegeneracy_order(self):
+        """Lemma 8: total size is O((|L|+|R|) * bidegeneracy)."""
+        graph = random_bipartite(15, 15, 0.2, seed=4)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        total = total_subgraph_size(graph, order)
+        delta = bidegeneracy(graph)
+        assert total <= graph.num_vertices * (delta + 1)
+
+    def test_density_profile_values_are_valid(self):
+        graph = random_bipartite(10, 10, 0.3, seed=5)
+        for order_name in ALL_ORDERS:
+            profile = subgraph_density_profile(graph, search_order(graph, order_name))
+            assert all(0.0 < value <= 1.0 for value in profile)

@@ -1,0 +1,88 @@
+"""Tests for the synthetic workloads and the KONECT dataset stand-ins."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.validation import check_consistent, is_biclique
+from repro.workloads.datasets import DATASETS, TOUGH_DATASETS, load_dataset
+from repro.workloads.synthetic import (
+    DEFAULT_DENSE_SIDES,
+    TABLE4_DENSITIES,
+    DenseCase,
+    dense_case_graph,
+    dense_suite,
+    sparse_synthetic_graph,
+)
+
+
+class TestDenseSuite:
+    def test_suite_covers_all_cells(self):
+        cases = list(dense_suite())
+        assert len(cases) == len(DEFAULT_DENSE_SIDES) * len(TABLE4_DENSITIES)
+
+    def test_paper_densities_are_present(self):
+        assert TABLE4_DENSITIES == (0.70, 0.75, 0.80, 0.85, 0.90, 0.95)
+
+    def test_case_graph_matches_parameters(self):
+        case = DenseCase(side=20, density=0.8)
+        graph = dense_case_graph(case)
+        assert graph.num_left == 20 and graph.num_right == 20
+        assert 0.7 < graph.density < 0.9
+        check_consistent(graph)
+
+    def test_case_graph_is_deterministic_per_instance(self):
+        case = DenseCase(side=12, density=0.75)
+        assert dense_case_graph(case, 0) == dense_case_graph(case, 0)
+        assert dense_case_graph(case, 0) != dense_case_graph(case, 1)
+
+    def test_case_label(self):
+        assert DenseCase(side=16, density=0.7).label == "16x16@70%"
+
+
+class TestSparseSynthetic:
+    def test_planted_block_is_present(self):
+        graph = sparse_synthetic_graph(100, 100, 2.0, planted_size=5, seed=1)
+        assert is_biclique(graph, range(5), range(5))
+
+    def test_without_planting(self):
+        graph = sparse_synthetic_graph(50, 50, 2.0, seed=2)
+        check_consistent(graph)
+
+
+class TestDatasetRegistry:
+    def test_thirty_datasets_registered(self):
+        assert len(DATASETS) == 30
+
+    def test_twelve_tough_datasets(self):
+        assert len(TOUGH_DATASETS) == 12
+        assert all(DATASETS[name].tough for name in TOUGH_DATASETS)
+
+    def test_paper_metadata_is_recorded(self):
+        spec = DATASETS["jester"]
+        assert spec.paper_left == 173421
+        assert spec.paper_optimum == 100
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("not-a-dataset")
+
+    @pytest.mark.parametrize("name", ["unicodelang", "jester", "dblp-author"])
+    def test_generation_is_deterministic(self, name):
+        assert load_dataset(name) == load_dataset(name)
+
+    @pytest.mark.parametrize("name", sorted(DATASETS)[:6])
+    def test_generated_graphs_match_spec_shape(self, name):
+        spec = DATASETS[name]
+        graph = spec.generate()
+        assert graph.num_left == spec.n_left
+        assert graph.num_right == spec.n_right
+        assert graph.num_edges > 0
+        assert is_biclique(graph, range(spec.planted_size), range(spec.planted_size))
+        check_consistent(graph)
+
+    def test_stand_ins_are_sparse(self):
+        for name in list(DATASETS)[:10]:
+            graph = DATASETS[name].generate()
+            assert graph.density < 0.2
