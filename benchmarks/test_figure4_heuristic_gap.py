@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.analysis.metrics import heuristic_gaps
 from repro.bench.figure4 import format_figure4, run_figure4
 from repro.workloads.datasets import load_dataset

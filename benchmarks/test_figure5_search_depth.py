@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.analysis.metrics import search_depth_ratio
 from repro.bench.figure5 import format_figure5, run_figure5
 from repro.cores.orders import ORDER_BIDEGENERACY, ORDER_DEGREE

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.analysis.metrics import average_subgraph_density
 from repro.bench.figure6 import format_figure6, run_figure6
 from repro.cores.orders import ORDER_BIDEGENERACY, ORDER_DEGREE

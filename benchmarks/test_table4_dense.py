@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.bench.table4 import format_table4, run_table4
 from repro.mbb.dense import dense_mbb
 from repro.mbb.heuristics import degree_heuristic

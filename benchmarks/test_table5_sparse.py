@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.baselines.adapted import run_adapted_baseline
 from repro.baselines.extbbclq import ext_bbclq
 from repro.bench.table5 import format_table5, run_table5

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.bench
+
 from repro.bench.table6 import format_table6, run_table6
 from repro.cores.bicore import bidegeneracy_order
 from repro.cores.core import degeneracy_order

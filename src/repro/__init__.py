@@ -4,7 +4,7 @@ A from-scratch Python reproduction of
 
     Lu Chen, Chengfei Liu, Rui Zhou, Jiajie Xu, Jianxin Li.
     "Efficient Exact Algorithms for Maximum Balanced Biclique Search in
-    Bipartite Graphs." PVLDB / SIGMOD 2021 (arXiv:2007.08836).
+    Bipartite Graphs." SIGMOD 2021 (arXiv:2007.08836).
 
 Quickstart
 ----------
@@ -15,6 +15,19 @@ Quickstart
 2
 >>> sorted(result.biclique.left), sorted(result.biclique.right)
 ([0, 1], ['x', 'y'])
+
+API notes
+---------
+Both exact solvers run their branch and bound on an indexed bitset kernel
+by default: the graph is mapped onto contiguous indices
+(:class:`~repro.graph.bitset.IndexedBitGraph`) and candidate-set
+intersections become single ``&``/``bit_count`` operations on Python-int
+bitmasks.  ``solve_mbb(graph, kernel="sets")`` (or
+``SparseConfig(kernel="sets")``) selects the original adjacency-set inner
+loop for ablations.  The sparse framework's S1 stage applies the Lemma 5
+early exit by comparing the incumbent against the degeneracy of the
+*pre-reduction* graph, so it can prove optimality while the residual graph
+is still nonempty.
 
 The package is organised as:
 
@@ -36,7 +49,13 @@ from repro.exceptions import (
     ReproError,
     SolverError,
 )
-from repro.graph import LEFT, RIGHT, BipartiteGraph, bipartite_complement
+from repro.graph import (
+    LEFT,
+    RIGHT,
+    BipartiteGraph,
+    IndexedBitGraph,
+    bipartite_complement,
+)
 from repro.cores import (
     bicore_numbers,
     bidegeneracy,
@@ -64,6 +83,7 @@ __all__ = [
     "__version__",
     # graph substrate
     "BipartiteGraph",
+    "IndexedBitGraph",
     "LEFT",
     "RIGHT",
     "bipartite_complement",

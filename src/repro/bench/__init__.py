@@ -14,11 +14,12 @@ module             paper artefact
 ``figure4``        Figure 4 — heuristic gap to the optimum
 ``figure5``        Figure 5 — search depth over δ̈ per order
 ``figure6``        Figure 6 — density of vertex-centred subgraphs
+``kernels``        bitset vs set branch-and-bound kernel timing
 =================  ==============================================
 """
 
 from repro.bench.harness import format_table, rows_to_csv
-from repro.bench import table4, table5, table6, figure4, figure5, figure6
+from repro.bench import table4, table5, table6, figure4, figure5, figure6, kernels
 
 __all__ = [
     "format_table",
@@ -29,4 +30,5 @@ __all__ = [
     "figure4",
     "figure5",
     "figure6",
+    "kernels",
 ]

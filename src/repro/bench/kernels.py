@@ -1,0 +1,136 @@
+"""Kernel comparison — bitset vs adjacency-set ``denseMBB`` inner loop.
+
+Times :func:`repro.mbb.dense.dense_mbb` with both branch-and-bound kernels
+on the Table 4 dense synthetic instances.  Both kernels run the same
+algorithm and find the same optimum; their node counts (reported per row)
+differ only by a few percent from tie-breaking, so the time ratio mostly
+isolates the data-structure effect: hash-set intersections vs single
+``&``/``bit_count`` operations on packed integers.
+
+The resulting rows are archived as ``BENCH_kernels.json`` at the repository
+root so regressions of the bitset kernel are caught by comparing against
+the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from statistics import mean
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import format_table, timed
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS, dense_mbb
+from repro.mbb.heuristics import degree_heuristic
+from repro.workloads.synthetic import DenseCase, dense_case_graph
+
+#: Table 4-style cases used for the comparison: doubling sides at the two
+#: densities where the paper's dense experiments start and end.
+DEFAULT_KERNEL_CASES = (
+    DenseCase(side=16, density=0.85),
+    DenseCase(side=24, density=0.85),
+    DenseCase(side=32, density=0.85),
+    DenseCase(side=32, density=0.70),
+    DenseCase(side=40, density=0.85),
+)
+
+KERNELS = (KERNEL_SETS, KERNEL_BITS)
+
+
+def run_kernel_case(
+    case: DenseCase,
+    *,
+    instances: int = 2,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Time both kernels on one dense case, averaged over instances."""
+    rows: List[Dict[str, object]] = []
+    for kernel in KERNELS:
+        times: List[float] = []
+        sides: List[int] = []
+        nodes: List[int] = []
+        timed_out = False
+        for instance in range(instances):
+            graph = dense_case_graph(case, instance)
+            seed_biclique = degree_heuristic(graph)
+            result, elapsed = timed(
+                dense_mbb,
+                graph,
+                initial_best=seed_biclique,
+                kernel=kernel,
+                time_budget=time_budget,
+            )
+            times.append(elapsed)
+            sides.append(result.side_size)
+            nodes.append(result.stats.nodes)
+            if not result.optimal:
+                timed_out = True
+        rows.append(
+            {
+                "size": f"{case.side}x{case.side}",
+                "density": case.density,
+                "kernel": kernel,
+                "seconds": mean(times),
+                "nodes": max(nodes),
+                "mbb_side": max(sides),
+                "timed_out": timed_out,
+            }
+        )
+    return rows
+
+
+def run_kernel_comparison(
+    cases: Sequence[DenseCase] = DEFAULT_KERNEL_CASES,
+    *,
+    instances: int = 2,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Produce all comparison rows, one per (case, kernel)."""
+    rows: List[Dict[str, object]] = []
+    for case in cases:
+        rows.extend(
+            run_kernel_case(case, instances=instances, time_budget=time_budget)
+        )
+    return rows
+
+
+def speedups(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per-case ``sets seconds / bits seconds`` ratios."""
+    by_case: Dict[tuple, Dict[str, Dict[str, object]]] = {}
+    for row in rows:
+        key = (row["size"], row["density"])
+        by_case.setdefault(key, {})[str(row["kernel"])] = row
+    result: List[Dict[str, object]] = []
+    for (size, density), pair in by_case.items():
+        if KERNEL_SETS not in pair or KERNEL_BITS not in pair:
+            continue
+        sets_s = float(pair[KERNEL_SETS]["seconds"])  # type: ignore[arg-type]
+        bits_s = float(pair[KERNEL_BITS]["seconds"])  # type: ignore[arg-type]
+        result.append(
+            {
+                "size": size,
+                "density": density,
+                "sets_seconds": sets_s,
+                "bits_seconds": bits_s,
+                "speedup": sets_s / bits_s if bits_s > 0 else float("inf"),
+            }
+        )
+    return result
+
+
+def format_kernel_comparison(rows: Sequence[Dict[str, object]]) -> str:
+    """Render raw rows plus the per-case speedup summary."""
+    summary = speedups(rows)
+    return "\n\n".join(
+        [
+            format_table(list(rows)),
+            format_table(summary) if summary else "(no complete kernel pairs)",
+        ]
+    )
+
+
+def write_benchmark_json(rows: Sequence[Dict[str, object]], path: str) -> None:
+    """Archive comparison rows (plus speedups) as a JSON document."""
+    document = {"rows": list(rows), "speedups": speedups(rows)}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")

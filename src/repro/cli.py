@@ -23,6 +23,7 @@ from repro import __version__
 from repro.exceptions import ReproError
 from repro.graph.generators import random_bipartite, random_power_law_bipartite
 from repro.graph.io import read_edge_list, write_edge_list
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
 from repro.mbb.solver import METHOD_AUTO, solve_mbb
 from repro.workloads.datasets import DATASETS, load_dataset
 
@@ -31,7 +32,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-mbb",
         description="Exact maximum balanced biclique search in bipartite graphs "
-        "(reproduction of Chen et al., PVLDB 2021).",
+        "(reproduction of Chen et al., SIGMOD 2021).",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -45,6 +46,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=METHOD_AUTO,
         choices=["auto", "dense", "sparse", "basic"],
         help="solver to use (default: auto)",
+    )
+    solve.add_argument(
+        "--kernel",
+        default=KERNEL_BITS,
+        choices=[KERNEL_BITS, KERNEL_SETS],
+        help="branch-and-bound inner loop: indexed bitsets (default) or adjacency sets",
     )
     solve.add_argument("--time-budget", type=float, default=None, help="seconds before giving up")
     solve.add_argument("--show-vertices", action="store_true", help="print the biclique's vertices")
@@ -64,8 +71,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = subparsers.add_parser("bench", help="regenerate a paper table or figure")
     bench.add_argument(
         "artefact",
-        choices=["table4", "table5", "table6", "figure4", "figure5", "figure6"],
-        help="which table/figure to regenerate",
+        choices=["table4", "table5", "table6", "figure4", "figure5", "figure6", "kernels"],
+        help="which table/figure to regenerate ('kernels' compares the bitset "
+        "and set branch-and-bound kernels)",
     )
     bench.add_argument("--time-budget", type=float, default=5.0, help="per-run budget in seconds")
     return parser
@@ -79,7 +87,9 @@ def _command_solve(args: argparse.Namespace) -> int:
         graph = read_edge_list(args.input)
         label = args.input
     print(f"loaded {label}: |L|={graph.num_left} |R|={graph.num_right} |E|={graph.num_edges}")
-    result = solve_mbb(graph, method=args.method, time_budget=args.time_budget)
+    result = solve_mbb(
+        graph, method=args.method, kernel=args.kernel, time_budget=args.time_budget
+    )
     status = "optimal" if result.optimal else "best effort (budget exhausted)"
     print(f"maximum balanced biclique side size: {result.side_size} ({status})")
     if result.terminated_at:
@@ -124,10 +134,12 @@ def _command_datasets(_: argparse.Namespace) -> int:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from repro.bench import figure4, figure5, figure6, table4, table5, table6
+    from repro.bench import figure4, figure5, figure6, kernels, table4, table5, table6
 
     budget = args.time_budget
-    if args.artefact == "table4":
+    if args.artefact == "kernels":
+        print(kernels.format_kernel_comparison(kernels.run_kernel_comparison(time_budget=budget)))
+    elif args.artefact == "table4":
         print(table4.format_table4(table4.run_table4(time_budget=budget, instances=1)))
     elif args.artefact == "table5":
         print(table5.format_table5(table5.run_table5(time_budget=budget)))

@@ -4,6 +4,8 @@ The public surface of this package is:
 
 * :class:`~repro.graph.bipartite.BipartiteGraph` — mutable adjacency-set
   bipartite graph with independent left/right label spaces.
+* :class:`~repro.graph.bitset.IndexedBitGraph` — immutable indexed bitmask
+  view of a bipartite graph; the branch-and-bound kernels run on it.
 * :func:`~repro.graph.complement.bipartite_complement` — the bipartite
   complement used by the polynomial-case solver.
 * :mod:`~repro.graph.generators` — random and structured graph generators.
@@ -12,6 +14,7 @@ The public surface of this package is:
 """
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.bitset import IndexedBitGraph, iter_bits, k_core_masks
 from repro.graph.complement import bipartite_complement, complement_density
 from repro.graph import generators, io, validation
 
@@ -19,6 +22,9 @@ __all__ = [
     "LEFT",
     "RIGHT",
     "BipartiteGraph",
+    "IndexedBitGraph",
+    "iter_bits",
+    "k_core_masks",
     "bipartite_complement",
     "complement_density",
     "generators",

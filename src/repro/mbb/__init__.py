@@ -11,12 +11,31 @@ Public entry points:
   exposing every ablation switch of the paper's Table 3.
 * :func:`~repro.mbb.basic_bb.basic_bb` — Algorithm 1, the unoptimised
   enumeration kept as a reference.
+
+Kernel selection: both exact solvers default to the indexed bitset kernel
+(:data:`~repro.mbb.dense.KERNEL_BITS`), which runs the branch and bound on
+:class:`~repro.graph.bitset.IndexedBitGraph` masks; pass
+``kernel=`` :data:`~repro.mbb.dense.KERNEL_SETS` (or
+``SparseConfig(kernel="sets")``) for the original adjacency-set inner loop,
+kept for ablations and as a fallback.
+
+Lemma 5 note: the S1 early exit of the sparse framework compares the
+incumbent side size against the degeneracy of the graph *before* the
+Lemma 4 core reduction (``δ(G) <= |A*|`` proves optimality); comparing
+against the reduced graph's degeneracy can never succeed because a nonempty
+``(k + 1)``-core has degeneracy above ``k``.
 """
 
 from repro.mbb.basic_bb import basic_bb
 from repro.mbb.bounds import degree_upper_bound
 from repro.mbb.context import SearchContext
-from repro.mbb.dense import BRANCH_NAIVE, BRANCH_TRIVIALITY_LAST, dense_mbb
+from repro.mbb.dense import (
+    BRANCH_NAIVE,
+    BRANCH_TRIVIALITY_LAST,
+    KERNEL_BITS,
+    KERNEL_SETS,
+    dense_mbb,
+)
 from repro.mbb.heuristics import core_heuristic, degree_heuristic, greedy_extend, h_mbb
 from repro.mbb.polynomial import (
     is_polynomially_solvable,
@@ -66,6 +85,8 @@ __all__ = [
     "dense_mbb",
     "BRANCH_NAIVE",
     "BRANCH_TRIVIALITY_LAST",
+    "KERNEL_BITS",
+    "KERNEL_SETS",
     "hbv_mbb",
     "sparse_mbb",
     "SparseConfig",

@@ -16,6 +16,21 @@ paper's dense-graph contribution:
 
 The ``branching`` parameter exposes a "naive" mode (no polynomial case, no
 triviality-last selection) used by the ``bd3`` ablation of Table 6.
+
+Two interchangeable kernels implement the inner loop:
+
+* :data:`KERNEL_BITS` (default) — the graph is indexed into an
+  :class:`~repro.graph.bitset.IndexedBitGraph` and every node carries four
+  integer bitmasks; neighbourhood/candidate intersections are single ``&``
+  operations and cardinalities are ``int.bit_count()`` calls.
+* :data:`KERNEL_SETS` — the original adjacency-set implementation, kept for
+  ablation/benchmark comparisons and as the fallback for graphs whose
+  labels resist indexing.
+
+Both kernels run the same algorithm and report through the same
+:class:`~repro.mbb.context.SearchContext`; they always find the same
+optimum, but their search trees (and hence node counts) can differ by a
+few percent because branch-selection ties are broken in different orders.
 """
 
 from __future__ import annotations
@@ -25,10 +40,19 @@ from typing import Iterable, Optional, Set, Tuple
 from repro._util import ensure_recursion_limit, recursion_headroom_for
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Vertex
-from repro.mbb.bounds import is_bounded, offer_completions
+from repro.graph.bitset import IndexedBitGraph
+from repro.mbb.bounds import is_bounded, offer_completions, offer_completions_bits
 from repro.mbb.context import SearchAborted, SearchContext
-from repro.mbb.polynomial import is_polynomially_solvable, solve_polynomial_case
-from repro.mbb.reductions import NodeState, reduce_node
+from repro.mbb.polynomial import (
+    solve_polynomial_case,
+    solve_polynomial_case_bits,
+)
+from repro.mbb.reductions import (
+    BitNodeState,
+    NodeState,
+    reduce_node,
+    reduce_node_bits,
+)
 from repro.mbb.result import Biclique, MBBResult
 
 #: Branch on a vertex missing >= 3 neighbours (the paper's strategy).
@@ -38,7 +62,31 @@ BRANCH_NAIVE = "naive"
 
 _BRANCHING_MODES = (BRANCH_TRIVIALITY_LAST, BRANCH_NAIVE)
 
+#: Indexed bitmask kernel (default).
+KERNEL_BITS = "bits"
+#: Original adjacency-set kernel (ablation / fallback).
+KERNEL_SETS = "sets"
 
+_KERNELS = (KERNEL_BITS, KERNEL_SETS)
+
+
+def _check_branching(branching: str) -> None:
+    if branching not in _BRANCHING_MODES:
+        raise InvalidParameterError(
+            f"unknown branching mode {branching!r}; expected one of {_BRANCHING_MODES}"
+        )
+
+
+def _check_kernel(kernel: str) -> None:
+    if kernel not in _KERNELS:
+        raise InvalidParameterError(
+            f"unknown kernel {kernel!r}; expected one of {_KERNELS}"
+        )
+
+
+# ----------------------------------------------------------------------
+# set kernel
+# ----------------------------------------------------------------------
 def _select_branch_vertex(
     graph: BipartiteGraph, state: NodeState
 ) -> Optional[Tuple[str, Vertex, Set[Vertex]]]:
@@ -139,6 +187,140 @@ def _dense_mbb(
     _dense_mbb(graph, context, exclude, depth + 1, branching)
 
 
+# ----------------------------------------------------------------------
+# bitset kernel
+# ----------------------------------------------------------------------
+def _select_any_vertex_bits(
+    graph: IndexedBitGraph, state: BitNodeState
+) -> Optional[Tuple[str, int, int]]:
+    """Bitset naive branching: lagging side, candidate keeping most alive."""
+
+    def pick(adj, candidates: int, others: int) -> Tuple[int, int]:
+        best_low = 0
+        best_neighbours = 0
+        best_kept = -1
+        remaining = candidates
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            neighbours = adj[low.bit_length() - 1] & others
+            kept = neighbours.bit_count()
+            if kept > best_kept:
+                best_kept = kept
+                best_low = low
+                best_neighbours = neighbours
+        return best_low, best_neighbours
+
+    prefer_left = state.a.bit_count() <= state.b.bit_count()
+    if prefer_left and state.ca:
+        low, neighbours = pick(graph.adj_left, state.ca, state.cb)
+        return "L", low, neighbours
+    if state.cb:
+        low, neighbours = pick(graph.adj_right, state.cb, state.ca)
+        return "R", low, neighbours
+    if state.ca:
+        low, neighbours = pick(graph.adj_left, state.ca, state.cb)
+        return "L", low, neighbours
+    return None
+
+
+def _dense_mbb_bits(
+    graph: IndexedBitGraph,
+    context: SearchContext,
+    state: BitNodeState,
+    depth: int,
+    branching: str,
+) -> None:
+    context.enter_node(depth)
+    if is_bounded(
+        context,
+        state.a.bit_count(),
+        state.b.bit_count(),
+        state.ca.bit_count(),
+        state.cb.bit_count(),
+    ):
+        context.stats.bound_prunes += 1
+        context.record_leaf(depth)
+        return
+
+    best_left, best_right = reduce_node_bits(graph, state, context)
+    offer_completions_bits(context, graph, state.a, state.b, state.ca, state.cb)
+    if is_bounded(
+        context,
+        state.a.bit_count(),
+        state.b.bit_count(),
+        state.ca.bit_count(),
+        state.cb.bit_count(),
+    ):
+        context.stats.bound_prunes += 1
+        context.record_leaf(depth)
+        return
+    if not state.ca or not state.cb:
+        context.record_leaf(depth)
+        return
+
+    if branching == BRANCH_TRIVIALITY_LAST:
+        # The reduction's final scans already found, per side, the survivor
+        # missing the most (>= 3) opposite candidates.
+        if best_left is None and best_right is None:
+            # Lemma 3 applies: hand the node to the polynomial solver.
+            context.stats.polynomial_cases += 1
+            context.record_leaf(depth)
+            result = solve_polynomial_case_bits(graph, state, context)
+            if result is not None:
+                context.offer_biclique(result)
+            return
+        if best_right is None or (
+            best_left is not None and best_left[0] >= best_right[0]
+        ):
+            selection = ("L", best_left[1], best_left[2])
+        else:
+            selection = ("R", best_right[1], best_right[2])
+    else:
+        selection = _select_any_vertex_bits(graph, state)
+        if selection is None:
+            context.record_leaf(depth)
+            return
+
+    side, bit, neighbours = selection
+    if side == "L":
+        include = BitNodeState(state.a | bit, state.b, state.ca ^ bit, neighbours)
+        exclude = BitNodeState(state.a, state.b, state.ca ^ bit, state.cb)
+    else:
+        include = BitNodeState(state.a, state.b | bit, neighbours, state.cb ^ bit)
+        exclude = BitNodeState(state.a, state.b, state.ca, state.cb ^ bit)
+    _dense_mbb_bits(graph, context, include, depth + 1, branching)
+    _dense_mbb_bits(graph, context, exclude, depth + 1, branching)
+
+
+def dense_mbb_on_bitgraph(
+    graph: IndexedBitGraph,
+    context: SearchContext,
+    a: int,
+    b: int,
+    ca: int,
+    cb: int,
+    *,
+    branching: str = BRANCH_TRIVIALITY_LAST,
+    depth: int = 0,
+) -> None:
+    """Run the bitset ``denseMBB`` kernel from an arbitrary node.
+
+    The four arguments are masks over ``graph``'s indices satisfying the
+    solver invariant (every candidate adjacent to the whole opposite
+    partial side).  Used by the sparse framework's verification stage,
+    which keeps its vertex-centred subgraphs in bitset form end to end.
+    """
+    _check_branching(branching)
+    try:
+        _dense_mbb_bits(graph, context, BitNodeState(a, b, ca, cb), depth, branching)
+    except SearchAborted:
+        pass
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
 def dense_mbb_on_sets(
     graph: BipartiteGraph,
     context: SearchContext,
@@ -149,6 +331,7 @@ def dense_mbb_on_sets(
     *,
     branching: str = BRANCH_TRIVIALITY_LAST,
     depth: int = 0,
+    kernel: str = KERNEL_BITS,
 ) -> None:
     """Run ``denseMBB`` from an arbitrary node (used by ``verifyMBB``).
 
@@ -156,11 +339,30 @@ def dense_mbb_on_sets(
     sets; results are reported through ``context``.  The candidate sets
     must already satisfy the solver invariant (every candidate adjacent to
     the whole opposite partial side).
+
+    With the default :data:`KERNEL_BITS` the relevant slice of ``graph`` is
+    indexed once into an :class:`IndexedBitGraph` and the search runs on
+    bitmasks; :data:`KERNEL_SETS` runs directly on the adjacency sets.
     """
-    if branching not in _BRANCHING_MODES:
-        raise InvalidParameterError(
-            f"unknown branching mode {branching!r}; expected one of {_BRANCHING_MODES}"
+    _check_branching(branching)
+    _check_kernel(kernel)
+    if kernel == KERNEL_BITS:
+        a = set(a)
+        b = set(b)
+        ca = set(ca)
+        cb = set(cb)
+        bitgraph = IndexedBitGraph.from_bipartite(graph, a | ca, b | cb)
+        dense_mbb_on_bitgraph(
+            bitgraph,
+            context,
+            bitgraph.left_mask(a),
+            bitgraph.right_mask(b),
+            bitgraph.left_mask(ca),
+            bitgraph.right_mask(cb),
+            branching=branching,
+            depth=depth,
         )
+        return
     state = NodeState(set(a), set(b), set(ca), set(cb))
     try:
         _dense_mbb(graph, context, state, depth, branching)
@@ -174,6 +376,7 @@ def dense_mbb(
     context: Optional[SearchContext] = None,
     initial_best: Optional[Biclique] = None,
     branching: str = BRANCH_TRIVIALITY_LAST,
+    kernel: str = KERNEL_BITS,
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
 ) -> MBBResult:
@@ -193,22 +396,39 @@ def dense_mbb(
     branching:
         :data:`BRANCH_TRIVIALITY_LAST` (default) or :data:`BRANCH_NAIVE`
         for the ``bd3`` ablation.
+    kernel:
+        :data:`KERNEL_BITS` (default) for the indexed bitset inner loop or
+        :data:`KERNEL_SETS` for the original adjacency-set implementation.
+        If the graph cannot be indexed (e.g. labels without a usable
+        ``repr`` ordering), the set kernel is used as a fallback.
     node_budget, time_budget:
         Optional budgets; exhausted budgets return ``optimal=False``.
     """
-    if branching not in _BRANCHING_MODES:
-        raise InvalidParameterError(
-            f"unknown branching mode {branching!r}; expected one of {_BRANCHING_MODES}"
-        )
+    _check_branching(branching)
+    _check_kernel(kernel)
     if context is None:
         context = SearchContext(node_budget=node_budget, time_budget=time_budget)
     if initial_best is not None:
         context.offer_biclique(initial_best)
     ensure_recursion_limit(recursion_headroom_for(graph.num_vertices))
     optimal = True
-    state = NodeState(set(), set(), graph.left, graph.right)
+
+    bitgraph: Optional[IndexedBitGraph] = None
+    if kernel == KERNEL_BITS:
+        try:
+            bitgraph = IndexedBitGraph.from_bipartite(graph)
+        except (TypeError, OverflowError):
+            bitgraph = None
+
     try:
-        _dense_mbb(graph, context, state, 0, branching)
+        if bitgraph is not None:
+            state_bits = BitNodeState(
+                0, 0, bitgraph.all_left_mask, bitgraph.all_right_mask
+            )
+            _dense_mbb_bits(bitgraph, context, state_bits, 0, branching)
+        else:
+            state = NodeState(set(), set(), graph.left, graph.right)
+            _dense_mbb(graph, context, state, 0, branching)
     except SearchAborted:
         optimal = False
     return MBBResult(

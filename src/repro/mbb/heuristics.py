@@ -161,37 +161,46 @@ def h_mbb(
     """Algorithm 5: heuristics, Lemma 4 reductions and Lemma 5 early exit.
 
     Returns the best balanced biclique found, the residual graph after the
-    core-based reductions, and whether the Lemma 5 condition
-    (``2 * δ(G') == |A*| + |B*|``) already proves the incumbent optimal.
+    core-based reductions, and whether the Lemma 5 condition already proves
+    the incumbent optimal.
+
+    Lemma 5 states that a balanced biclique with side size ``k`` forces
+    degeneracy at least ``k``, so ``δ(G) <= |A*|`` certifies the incumbent
+    ``(A*, B*)`` optimal.  Crucially the degeneracy must be taken on the
+    graph *before* it is shrunk to the ``(best_side + 1)``-core: a nonempty
+    ``(k + 1)``-core always has degeneracy at least ``k + 1``, so comparing
+    the post-reduction degeneracy against ``best_side`` (as an earlier
+    revision of this function did) can never succeed and the early exit was
+    dead code.  With the pre-reduction comparison, S1 can terminate the
+    whole search while the residual graph is still nonempty.
     """
     if context is None:
         context = SearchContext()
 
-    # Degree-based heuristic, then reduce.
+    # Degree-based heuristic; Lemma 5 check on the *input* graph.
     best = degree_heuristic(graph, top_r=top_r)
     context.offer_biclique(best)
     context.stats.heuristic_side = max(
         context.stats.heuristic_side, context.best_side
     )
+    if context.best_side > 0 and degeneracy(graph) <= context.best_side:
+        return HMBBOutcome(context.best, graph, True)
     reduced = core_reduce(graph, context.best_side)
     if reduced.num_vertices == 0:
         return HMBBOutcome(context.best, reduced, True)
-    reduced_degeneracy = degeneracy(reduced)
-    if reduced_degeneracy == context.best_side and context.best_side > 0:
-        return HMBBOutcome(context.best, reduced, True)
 
-    # Core-based heuristic on the reduced graph, then reduce again.
+    # Core-based heuristic on the reduced graph; Lemma 5 check against the
+    # degeneracy of that (pre-second-reduction) graph, then reduce again.
     cores = core_numbers(reduced)
     improved = core_heuristic(reduced, top_r=top_r, cores=cores)
     if context.offer_biclique(improved):
         context.stats.heuristic_side = max(
             context.stats.heuristic_side, context.best_side
         )
+        if max(cores.values(), default=0) <= context.best_side:
+            return HMBBOutcome(context.best, reduced, True)
         reduced = core_reduce(reduced, context.best_side)
         if reduced.num_vertices == 0:
-            return HMBBOutcome(context.best, reduced, True)
-        reduced_degeneracy = degeneracy(reduced)
-        if reduced_degeneracy == context.best_side and context.best_side > 0:
             return HMBBOutcome(context.best, reduced, True)
 
     return HMBBOutcome(context.best, reduced, False)

@@ -22,8 +22,9 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
+from repro.graph.bitset import IndexedBitGraph, iter_bits
 from repro.mbb.context import SearchContext
-from repro.mbb.reductions import NodeState
+from repro.mbb.reductions import BitNodeState, NodeState
 from repro.mbb.result import Biclique
 
 VertexKey = Tuple[str, Vertex]
@@ -173,6 +174,58 @@ def component_choices(
     return _path_choices(sequence)
 
 
+def _best_improving_choice(
+    complement: Dict[VertexKey, Set[VertexKey]],
+    base_left: int,
+    base_right: int,
+    context: SearchContext,
+) -> Optional[_Choice]:
+    """Run the component DP and pick the best incumbent-beating choice.
+
+    ``base_left`` / ``base_right`` count the vertices that are selected
+    unconditionally (the partial sides plus the trivial candidates with no
+    missing neighbour).  Returns ``None`` when even the unconstrained
+    optimum of the node does not improve on the incumbent.
+    """
+    frontier: List[_Choice] = [_EMPTY_CHOICE]
+    for sequence, is_cycle in _component_sequences(complement):
+        options = component_choices(sequence, is_cycle)
+        combined: List[_Choice] = []
+        for base in frontier:
+            for option in options:
+                combined.append(
+                    _Choice(
+                        base.a + option.a,
+                        base.b + option.b,
+                        base.witness | option.witness,
+                    )
+                )
+        frontier = _pareto(combined)
+
+    best_choice: Optional[_Choice] = None
+    best_side = context.best_side
+    for choice in frontier:
+        side = min(base_left + choice.a, base_right + choice.b)
+        if side > best_side:
+            best_side = side
+            best_choice = choice
+    return best_choice
+
+
+def _assemble(
+    left: Set[Vertex],
+    right: Set[Vertex],
+    choice: _Choice,
+) -> Biclique:
+    """Materialise the selected witness on top of the unconditional picks."""
+    for side_tag, label in choice.witness:
+        if side_tag == LEFT:
+            left.add(label)
+        else:
+            right.add(label)
+    return Biclique.of(left, right).balanced()
+
+
 def solve_polynomial_case(
     graph: BipartiteGraph,
     state: NodeState,
@@ -189,27 +242,174 @@ def solve_polynomial_case(
     trivial_left = [u for u in state.ca if not complement[(LEFT, u)]]
     trivial_right = [v for v in state.cb if not complement[(RIGHT, v)]]
 
-    frontier: List[_Choice] = [_EMPTY_CHOICE]
-    for sequence, is_cycle in _component_sequences(complement):
-        options = component_choices(sequence, is_cycle)
-        combined: List[_Choice] = []
-        for base in frontier:
-            for option in options:
-                combined.append(
-                    _Choice(
-                        base.a + option.a,
-                        base.b + option.b,
-                        base.witness | option.witness,
-                    )
-                )
-        frontier = _pareto(combined)
+    best_choice = _best_improving_choice(
+        complement,
+        len(state.a) + len(trivial_left),
+        len(state.b) + len(trivial_right),
+        context,
+    )
+    if best_choice is None:
+        return None
+    left = set(state.a) | set(trivial_left)
+    right = set(state.b) | set(trivial_right)
+    return _assemble(left, right, best_choice)
 
-    base_left = len(state.a) + len(trivial_left)
-    base_right = len(state.b) + len(trivial_right)
-    best_choice: Optional[_Choice] = None
+
+#: Mask-based Pareto point used by the bitset polynomial solver: ``(left
+#: count, right count, left witness mask, right witness mask)``.  Witness
+#: union is two integer ``|`` operations, which is what makes the bitset
+#: DP markedly cheaper than the frozenset-witness version above.
+_MaskChoice = Tuple[int, int, int, int]
+
+_EMPTY_MASK_CHOICE: _MaskChoice = (0, 0, 0, 0)
+
+
+def _pareto_masks(choices: List[_MaskChoice]) -> List[_MaskChoice]:
+    """Keep only Pareto-maximal ``(a, b)`` mask choices."""
+    if len(choices) <= 1:
+        return choices
+    best_b_for_a: Dict[int, _MaskChoice] = {}
+    for choice in choices:
+        incumbent = best_b_for_a.get(choice[0])
+        if incumbent is None or choice[1] > incumbent[1]:
+            best_b_for_a[choice[0]] = choice
+    result: List[_MaskChoice] = []
+    best_b = -1
+    for a in sorted(best_b_for_a, reverse=True):
+        choice = best_b_for_a[a]
+        if choice[1] > best_b:
+            result.append(choice)
+            best_b = choice[1]
+    return result
+
+
+def _path_frontier_masks(sequence: List[Tuple[bool, int]]) -> List[_MaskChoice]:
+    """Pareto frontier along a complement path of ``(is_left, index)`` steps."""
+    taken: List[_MaskChoice] = []
+    not_taken: List[_MaskChoice] = [_EMPTY_MASK_CHOICE]
+    for is_left, index in sequence:
+        bit = 1 << index
+        # Extending every element of a Pareto frontier by the same vertex
+        # preserves Pareto-maximality, so ``new_taken`` needs no filtering.
+        if is_left:
+            new_taken = [(a + 1, b, lm | bit, rm) for a, b, lm, rm in not_taken]
+        else:
+            new_taken = [(a, b + 1, lm, rm | bit) for a, b, lm, rm in not_taken]
+        not_taken = _pareto_masks(taken + not_taken) if taken else not_taken
+        taken = new_taken
+    return _pareto_masks(taken + not_taken)
+
+
+def _cycle_frontier_masks(sequence: List[Tuple[bool, int]]) -> List[_MaskChoice]:
+    """Pareto frontier around a complement cycle of ``(is_left, index)`` steps."""
+    if len(sequence) <= 2:
+        return _path_frontier_masks(sequence)
+    is_left, index = sequence[0]
+    bit = 1 << index
+    without_first = _path_frontier_masks(sequence[1:])
+    inner = _path_frontier_masks(sequence[2:-1])
+    if is_left:
+        with_first = [(a + 1, b, lm | bit, rm) for a, b, lm, rm in inner]
+    else:
+        with_first = [(a, b + 1, lm, rm | bit) for a, b, lm, rm in inner]
+    return _pareto_masks(without_first + with_first)
+
+
+def solve_polynomial_case_bits(
+    graph: IndexedBitGraph,
+    state: BitNodeState,
+    context: SearchContext,
+) -> Optional[Biclique]:
+    """Bitset counterpart of :func:`solve_polynomial_case`.
+
+    The complement of the candidate subgraph is read straight off the
+    adjacency masks (``cb & ~adj[u]``), its path/cycle components are
+    walked on masks, and the Pareto dynamic program carries its witnesses
+    as two integer masks.  No per-vertex hash sets or label tuples are
+    built, which matters because dense searches spend a large share of
+    their time in this polynomial case.
+    """
+    adj_left = graph.adj_left
+    adj_right = graph.adj_right
+    ca = state.ca
+    cb = state.cb
+
+    miss_left: Dict[int, int] = {}
+    miss_right: Dict[int, int] = {}
+    trivial_left_mask = 0
+    trivial_right_mask = 0
+    for i in iter_bits(ca):
+        missing = cb & ~adj_left[i]
+        if missing:
+            miss_left[i] = missing
+        else:
+            trivial_left_mask |= 1 << i
+    for j in iter_bits(cb):
+        missing = ca & ~adj_right[j]
+        if missing:
+            miss_right[j] = missing
+        else:
+            trivial_right_mask |= 1 << j
+
+    # Walk the complement's components.  Max degree two means every
+    # component is a simple path (start from a degree-<=1 endpoint) or a
+    # simple cycle (whatever remains afterwards).
+    visited_left = 0
+    visited_right = 0
+
+    def walk(is_left: bool, index: int) -> List[Tuple[bool, int]]:
+        nonlocal visited_left, visited_right
+        sequence: List[Tuple[bool, int]] = []
+        while True:
+            sequence.append((is_left, index))
+            if is_left:
+                visited_left |= 1 << index
+                next_mask = miss_left[index] & ~visited_right
+            else:
+                visited_right |= 1 << index
+                next_mask = miss_right[index] & ~visited_left
+            if not next_mask:
+                return sequence
+            low = next_mask & -next_mask
+            index = low.bit_length() - 1
+            is_left = not is_left
+        # unreachable
+
+    frontier: List[_MaskChoice] = [_EMPTY_MASK_CHOICE]
+
+    def fold(options: List[_MaskChoice]) -> None:
+        nonlocal frontier
+        frontier = _pareto_masks(
+            [
+                (a1 + a2, b1 + b2, l1 | l2, r1 | r2)
+                for a1, b1, l1, r1 in frontier
+                for a2, b2, l2, r2 in options
+            ]
+        )
+
+    for i, missing in miss_left.items():
+        if visited_left >> i & 1 or missing.bit_count() > 1:
+            continue
+        fold(_path_frontier_masks(walk(True, i)))
+    for j, missing in miss_right.items():
+        if visited_right >> j & 1 or missing.bit_count() > 1:
+            continue
+        fold(_path_frontier_masks(walk(False, j)))
+    for i in miss_left:
+        if not visited_left >> i & 1:
+            fold(_cycle_frontier_masks(walk(True, i)))
+    for j in miss_right:
+        if not visited_right >> j & 1:
+            fold(_cycle_frontier_masks(walk(False, j)))
+
+    base_left_mask = state.a | trivial_left_mask
+    base_right_mask = state.b | trivial_right_mask
+    base_left = base_left_mask.bit_count()
+    base_right = base_right_mask.bit_count()
     best_side = context.best_side
+    best_choice: Optional[_MaskChoice] = None
     for choice in frontier:
-        side = min(base_left + choice.a, base_right + choice.b)
+        side = min(base_left + choice[0], base_right + choice[1])
         if side > best_side:
             best_side = side
             best_choice = choice
@@ -217,15 +417,10 @@ def solve_polynomial_case(
         # Even the unconstrained optimum of this node does not improve on
         # the incumbent.
         return None
-
-    left = set(state.a) | set(trivial_left)
-    right = set(state.b) | set(trivial_right)
-    for side_tag, label in best_choice.witness:
-        if side_tag == LEFT:
-            left.add(label)
-        else:
-            right.add(label)
-    return Biclique.of(left, right).balanced()
+    return Biclique.of(
+        graph.left_labels_of(base_left_mask | best_choice[2]),
+        graph.right_labels_of(base_right_mask | best_choice[3]),
+    ).balanced()
 
 
 def maximum_balanced_biclique_near_complete(

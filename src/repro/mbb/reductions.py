@@ -15,14 +15,21 @@ Three rules from the paper are implemented:
 All rules only discard vertices that cannot be part of a *strictly
 improving* solution, so applying them never changes the optimum as long as
 the incumbent itself is retained.
+
+Each rule exists in two kernels: the original adjacency-set form
+(:class:`NodeState` / :func:`reduce_node`) and a bitset form
+(:class:`BitNodeState` / :func:`reduce_node_bits`) operating on
+:class:`~repro.graph.bitset.IndexedBitGraph` masks, which is the default
+inner loop of ``denseMBB``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Set
+from typing import Optional, Set, Tuple
 
 from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.bitset import IndexedBitGraph
 from repro.cores.core import k_core
 from repro.mbb.context import SearchContext
 
@@ -93,6 +100,124 @@ def reduce_node(
                 context.stats.reductions_forced += 1
                 changed = True
     return state
+
+
+@dataclass
+class BitNodeState:
+    """Bitset branch-and-bound node: four masks over an `IndexedBitGraph`.
+
+    ``a``/``ca`` are masks over the left indices and ``b``/``cb`` masks over
+    the right indices.  Because Python integers are immutable, child nodes
+    are built with plain bit operations and no copying.
+    """
+
+    a: int
+    b: int
+    ca: int
+    cb: int
+
+    @property
+    def upper_bound_side(self) -> int:
+        """``min(|A| + |CA|, |B| + |CB|)``."""
+        return min(
+            (self.a | self.ca).bit_count(), (self.b | self.cb).bit_count()
+        )
+
+
+#: Branch candidate collected by :func:`reduce_node_bits`:
+#: ``(missing_count, vertex_bit, neighbour_mask)``.
+BranchCandidate = Tuple[int, int, int]
+
+
+def reduce_node_bits(
+    graph: IndexedBitGraph,
+    state: BitNodeState,
+    context: SearchContext,
+) -> Tuple[Optional[BranchCandidate], Optional[BranchCandidate]]:
+    """Bitset counterpart of :func:`reduce_node` (Lemmas 1 and 2).
+
+    Identical semantics, but candidate neighbourhood intersections are one
+    ``&`` and one ``bit_count`` each.  The state is modified in place.
+
+    Each pass over one side checks both lemmas with a single neighbourhood
+    intersection per candidate (the conditions only read the *other* side's
+    masks, which a pass over this side never mutates), and a side is only
+    rescanned when the opposite side changed since its last scan.
+
+    As a byproduct of the final scans the function returns, per side, the
+    surviving candidate with the most (>= 3) missing neighbours as
+    ``(missing, bit, neighbour_mask)`` — exactly the triviality-last branch
+    selection of Algorithm 3 — or ``None`` when every survivor of that side
+    misses at most two neighbours (the Lemma 3 polynomial precondition).
+    The values are valid because each side's final scan evaluates every
+    surviving candidate against the other side's final masks.
+    """
+    target = context.best_side + 1
+    adj_left = graph.adj_left
+    adj_right = graph.adj_right
+    stats = context.stats
+    a = state.a
+    b = state.b
+    ca = state.ca
+    cb = state.cb
+    best_left: Optional[BranchCandidate] = None
+    best_right: Optional[BranchCandidate] = None
+    scan_left = True
+    scan_right = True
+    while scan_left or scan_right:
+        if scan_left:
+            scan_left = False
+            best_left = None
+            best_missing = 2
+            b_size = b.bit_count()
+            cb_size = cb.bit_count()
+            remaining = ca
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                neighbours = adj_left[low.bit_length() - 1] & cb
+                kept = neighbours.bit_count()
+                if b_size + kept < target:
+                    ca ^= low
+                    stats.reductions_removed += 1
+                    scan_right = True
+                elif neighbours == cb:
+                    ca ^= low
+                    a |= low
+                    stats.reductions_forced += 1
+                    scan_right = True
+                elif cb_size - kept > best_missing:
+                    best_missing = cb_size - kept
+                    best_left = (best_missing, low, neighbours)
+        if scan_right:
+            scan_right = False
+            best_right = None
+            best_missing = 2
+            a_size = a.bit_count()
+            ca_size = ca.bit_count()
+            remaining = cb
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                neighbours = adj_right[low.bit_length() - 1] & ca
+                kept = neighbours.bit_count()
+                if a_size + kept < target:
+                    cb ^= low
+                    stats.reductions_removed += 1
+                    scan_left = True
+                elif neighbours == ca:
+                    cb ^= low
+                    b |= low
+                    stats.reductions_forced += 1
+                    scan_left = True
+                elif ca_size - kept > best_missing:
+                    best_missing = ca_size - kept
+                    best_right = (best_missing, low, neighbours)
+    state.a = a
+    state.b = b
+    state.ca = ca
+    state.cb = cb
+    return best_left, best_right
 
 
 def core_reduce(graph: BipartiteGraph, best_side: int) -> BipartiteGraph:

@@ -4,17 +4,22 @@ Most users should simply call :func:`solve_mbb` (or the even smaller
 :func:`maximum_balanced_biclique`), which inspects the input graph and
 dispatches to the dense-graph algorithm or to the sparse framework, the two
 exact algorithms contributed by the paper.
+
+Both exact solvers run on the indexed bitset kernel by default (see
+:mod:`repro.mbb.dense`); pass ``kernel="sets"`` to force the original
+adjacency-set implementation for ablations and comparisons.
 """
 
 from __future__ import annotations
 
-import sys
+from dataclasses import replace
 from typing import Optional
 
+from repro._util import ensure_recursion_limit, recursion_headroom_for
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph
 from repro.mbb.basic_bb import basic_bb
-from repro.mbb.dense import dense_mbb
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS, dense_mbb
 from repro.mbb.result import Biclique, MBBResult
 from repro.mbb.sparse import SparseConfig, hbv_mbb
 
@@ -37,13 +42,6 @@ DENSE_DENSITY_THRESHOLD = 0.4
 SMALL_GRAPH_VERTICES = 64
 
 
-def _ensure_recursion_headroom(graph: BipartiteGraph) -> None:
-    """Raise the interpreter recursion limit for deep branch-and-bound runs."""
-    needed = 4 * graph.num_vertices + 1000
-    if sys.getrecursionlimit() < needed:
-        sys.setrecursionlimit(needed)
-
-
 def choose_method(graph: BipartiteGraph) -> str:
     """Pick ``dense`` or ``sparse`` for a graph the way ``auto`` does."""
     if graph.num_vertices <= SMALL_GRAPH_VERTICES:
@@ -57,6 +55,7 @@ def solve_mbb(
     graph: BipartiteGraph,
     *,
     method: str = METHOD_AUTO,
+    kernel: str = KERNEL_BITS,
     sparse_config: Optional[SparseConfig] = None,
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
@@ -72,8 +71,16 @@ def solve_mbb(
         on density and size; ``"dense"``, ``"sparse"`` and ``"basic"``
         force a specific solver (``basic`` is the unoptimised Algorithm 1,
         exposed mainly for education and testing).
+    kernel:
+        :data:`~repro.mbb.dense.KERNEL_BITS` (default) or
+        :data:`~repro.mbb.dense.KERNEL_SETS`; selects the branch-and-bound
+        inner loop of the dense solver and of the sparse framework's
+        verification stage.  Ignored when an explicit ``sparse_config``
+        already carries a kernel choice.
     sparse_config:
         Optional :class:`SparseConfig` forwarded to the sparse framework.
+        Budgets passed to this function override the config's budgets; all
+        other config fields are preserved as given.
     node_budget, time_budget:
         Optional budgets; exhausted budgets return the best-so-far result
         with ``optimal=False``.
@@ -87,26 +94,29 @@ def solve_mbb(
         raise InvalidParameterError(
             f"unknown method {method!r}; expected one of {_METHODS}"
         )
-    _ensure_recursion_headroom(graph)
+    if kernel not in (KERNEL_BITS, KERNEL_SETS):
+        raise InvalidParameterError(
+            f"unknown kernel {kernel!r}; expected one of {(KERNEL_BITS, KERNEL_SETS)}"
+        )
+    ensure_recursion_limit(recursion_headroom_for(graph.num_vertices))
     if method == METHOD_AUTO:
         method = choose_method(graph)
 
     if method == METHOD_BASIC:
         return basic_bb(graph, node_budget=node_budget, time_budget=time_budget)
     if method == METHOD_DENSE:
-        return dense_mbb(graph, node_budget=node_budget, time_budget=time_budget)
-
-    config = sparse_config if sparse_config is not None else SparseConfig()
-    if node_budget is not None or time_budget is not None:
-        config = SparseConfig(
-            use_heuristic=config.use_heuristic,
-            use_core_pruning=config.use_core_pruning,
-            use_dense_branching=config.use_dense_branching,
-            order=config.order,
-            heuristic_seeds=config.heuristic_seeds,
-            node_budget=node_budget,
-            time_budget=time_budget,
+        return dense_mbb(
+            graph, kernel=kernel, node_budget=node_budget, time_budget=time_budget
         )
+
+    config = sparse_config if sparse_config is not None else SparseConfig(kernel=kernel)
+    overrides = {}
+    if node_budget is not None:
+        overrides["node_budget"] = node_budget
+    if time_budget is not None:
+        overrides["time_budget"] = time_budget
+    if overrides:
+        config = replace(config, **overrides)
     return hbv_mbb(graph, config=config)
 
 

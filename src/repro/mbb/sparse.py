@@ -29,7 +29,11 @@ from repro.cores.orders import (
 )
 from repro.mbb.bridge import bridge_mbb
 from repro.mbb.context import SearchContext
-from repro.mbb.dense import BRANCH_NAIVE, BRANCH_TRIVIALITY_LAST
+from repro.mbb.dense import (
+    BRANCH_NAIVE,
+    BRANCH_TRIVIALITY_LAST,
+    KERNEL_BITS,
+)
 from repro.mbb.heuristics import h_mbb
 from repro.mbb.reductions import core_reduce
 from repro.mbb.result import (
@@ -59,6 +63,10 @@ class SparseConfig:
     order: str = ORDER_BIDEGENERACY
     #: How many top-degree / top-core seeds the greedy heuristics try.
     heuristic_seeds: int = 5
+    #: Search kernel for the verification stage: ``"bits"`` (default) runs
+    #: the dense solver on IndexedBitGraph masks, ``"sets"`` on adjacency
+    #: sets (see :mod:`repro.mbb.dense`).
+    kernel: str = KERNEL_BITS
     #: Optional safety budgets forwarded to the search context.
     node_budget: Optional[int] = None
     time_budget: Optional[float] = None
@@ -173,6 +181,7 @@ def hbv_mbb(
         context,
         branching=config.branching,
         use_core_pruning=config.use_core_pruning,
+        kernel=config.kernel,
     )
     return MBBResult(
         biclique=context.best,

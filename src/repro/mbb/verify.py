@@ -6,6 +6,14 @@ dense-graph solver on each of them, with the centre vertex forced into the
 result.  The subgraphs are first shrunk to their ``(best_side + 1)``-core
 (Lemma 4 again, now with the possibly improved incumbent).
 
+With the default :data:`~repro.mbb.dense.KERNEL_BITS` kernel each centred
+subgraph is converted once into an
+:class:`~repro.graph.bitset.IndexedBitGraph`; the core reduction is applied
+as a pair of vertex masks (:func:`~repro.graph.bitset.k_core_masks`) and
+the exhaustive search runs on bitmasks, so this stage never materialises
+additional ``BipartiteGraph`` copies.  The :data:`~repro.mbb.dense.
+KERNEL_SETS` path preserves the original behaviour for ablations.
+
 Because the surviving subgraphs are small (bounded by the bidegeneracy) and
 dense, the exhaustive step behaves near-polynomially in practice, which is
 the crux of the paper's ``O*(1.3803^δ̈)`` claim.
@@ -13,14 +21,62 @@ the crux of the paper's ``O*(1.3803^δ̈)`` claim.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
-from repro.graph.bipartite import LEFT, BipartiteGraph
+from repro.graph.bipartite import LEFT
+from repro.graph.bitset import k_core_masks
 from repro.cores.core import k_core
 from repro.mbb.context import SearchAborted, SearchContext
-from repro.mbb.dense import BRANCH_TRIVIALITY_LAST, dense_mbb_on_sets
+from repro.mbb.dense import (
+    BRANCH_TRIVIALITY_LAST,
+    KERNEL_BITS,
+    KERNEL_SETS,
+    dense_mbb_on_bitgraph,
+    dense_mbb_on_sets,
+)
 from repro.mbb.result import Biclique
 from repro.mbb.vertex_centred import VertexCentredSubgraph
+
+
+def _search_subgraph_bits(
+    sub: VertexCentredSubgraph,
+    context: SearchContext,
+    branching: str,
+    use_core_pruning: bool,
+) -> None:
+    """Bitset search of a single centred subgraph, centre forced in."""
+    bitgraph = sub.to_bitgraph()
+    left_mask = bitgraph.all_left_mask
+    right_mask = bitgraph.all_right_mask
+    if use_core_pruning:
+        left_mask, right_mask = k_core_masks(
+            bitgraph, context.best_side + 1, left_mask, right_mask
+        )
+    side, label = sub.center
+    if side == LEFT:
+        index = bitgraph.left_index[label]
+        bit = 1 << index
+        if not left_mask & bit:
+            return
+        a = bit
+        b = 0
+        ca = left_mask ^ bit
+        cb = bitgraph.adj_left[index] & right_mask
+    else:
+        index = bitgraph.right_index[label]
+        bit = 1 << index
+        if not right_mask & bit:
+            return
+        a = 0
+        b = bit
+        ca = bitgraph.adj_right[index] & left_mask
+        cb = right_mask ^ bit
+    if min((a | ca).bit_count(), (b | cb).bit_count()) <= context.best_side:
+        return
+    context.stats.subgraphs_searched += 1
+    dense_mbb_on_bitgraph(
+        bitgraph, context, a, b, ca, cb, branching=branching, depth=0
+    )
 
 
 def _search_subgraph(
@@ -29,7 +85,7 @@ def _search_subgraph(
     branching: str,
     use_core_pruning: bool,
 ) -> None:
-    """Search a single centred subgraph with its centre forced in."""
+    """Set-kernel search of a single centred subgraph, centre forced in."""
     subgraph = sub.graph
     if use_core_pruning:
         subgraph = k_core(subgraph, context.best_side + 1)
@@ -54,7 +110,15 @@ def _search_subgraph(
         return
     context.stats.subgraphs_searched += 1
     dense_mbb_on_sets(
-        subgraph, context, a, b, ca, cb, branching=branching, depth=0
+        subgraph,
+        context,
+        a,
+        b,
+        ca,
+        cb,
+        branching=branching,
+        depth=0,
+        kernel=KERNEL_SETS,
     )
 
 
@@ -64,18 +128,21 @@ def verify_mbb(
     *,
     branching: str = BRANCH_TRIVIALITY_LAST,
     use_core_pruning: bool = True,
+    kernel: str = KERNEL_BITS,
 ) -> Biclique:
     """Run the verification stage over all surviving centred subgraphs.
 
     The incumbent stored in ``context`` is updated in place and also
     returned.  When a budget is exhausted the incumbent found so far is
-    returned and ``context.aborted`` is set.
+    returned and ``context.aborted`` is set.  ``kernel`` selects the
+    bitset (default) or adjacency-set search implementation.
     """
+    search = _search_subgraph_bits if kernel == KERNEL_BITS else _search_subgraph
     for sub in subgraphs:
         if context.aborted:
             break
         try:
-            _search_subgraph(sub, context, branching, use_core_pruning)
+            search(sub, context, branching, use_core_pruning)
         except SearchAborted:
             break
     return context.best

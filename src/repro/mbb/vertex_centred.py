@@ -15,10 +15,11 @@ practical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
+from repro.graph.bitset import IndexedBitGraph
 
 VertexKey = Tuple[str, Vertex]
 
@@ -30,6 +31,9 @@ class VertexCentredSubgraph:
     center: VertexKey
     graph: BipartiteGraph
     position: int
+    _bitgraph: Optional[IndexedBitGraph] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def center_side(self) -> str:
@@ -50,6 +54,17 @@ class VertexCentredSubgraph:
     def density(self) -> float:
         """Edge density of the centred subgraph (Figure 6 metric)."""
         return self.graph.density
+
+    def to_bitgraph(self) -> IndexedBitGraph:
+        """The centred subgraph as an :class:`IndexedBitGraph` (cached).
+
+        The verification stage (Algorithm 8) consumes centred subgraphs in
+        bitset form: core reduction and the exhaustive search then operate
+        on masks and never materialise further ``BipartiteGraph`` copies.
+        """
+        if self._bitgraph is None:
+            self._bitgraph = IndexedBitGraph.from_bipartite(self.graph)
+        return self._bitgraph
 
 
 def vertex_centred_subgraph(

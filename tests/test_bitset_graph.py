@@ -1,0 +1,106 @@
+"""Tests for the indexed bitset graph representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.bitset import IndexedBitGraph, iter_bits, k_core_masks
+from repro.graph.generators import complete_bipartite, crown_graph, random_bipartite
+from repro.cores.core import k_core
+
+
+class TestIterBits:
+    def test_empty_mask(self):
+        assert list(iter_bits(0)) == []
+
+    def test_single_bits(self):
+        for i in (0, 1, 5, 63, 64, 200):
+            assert list(iter_bits(1 << i)) == [i]
+
+    def test_mixed_mask_ascending(self):
+        assert list(iter_bits(0b10110)) == [1, 2, 4]
+
+
+class TestIndexedBitGraph:
+    def test_roundtrip_structure(self):
+        graph = BipartiteGraph(edges=[(1, "a"), (1, "b"), (2, "a"), (3, "c")])
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        assert bitgraph.n_left == 3
+        assert bitgraph.n_right == 3
+        assert bitgraph.num_vertices == 6
+        assert bitgraph.num_edges == 4
+        assert bitgraph.density == graph.density
+        # Every edge of the original graph appears in the masks and vice versa.
+        for i, u in enumerate(bitgraph.left_labels):
+            neighbours = set(bitgraph.right_labels_of(bitgraph.adj_left[i]))
+            assert neighbours == graph.neighbors_left(u)
+
+    def test_adj_right_is_transpose(self):
+        graph = random_bipartite(8, 6, 0.5, seed=3)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        for i in range(bitgraph.n_left):
+            for j in range(bitgraph.n_right):
+                assert bool(bitgraph.adj_left[i] >> j & 1) == bool(
+                    bitgraph.adj_right[j] >> i & 1
+                )
+
+    def test_mask_label_roundtrip(self):
+        graph = random_bipartite(7, 9, 0.4, seed=1)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        labels = sorted(graph.left, key=repr)[:4]
+        mask = bitgraph.left_mask(labels)
+        assert sorted(bitgraph.left_labels_of(mask), key=repr) == labels
+        rlabels = sorted(graph.right, key=repr)[:5]
+        rmask = bitgraph.right_mask(rlabels)
+        assert sorted(bitgraph.right_labels_of(rmask), key=repr) == rlabels
+
+    def test_all_masks(self):
+        bitgraph = IndexedBitGraph.from_bipartite(complete_bipartite(3, 5))
+        assert bitgraph.all_left_mask.bit_count() == 3
+        assert bitgraph.all_right_mask.bit_count() == 5
+
+    def test_empty_graph(self):
+        bitgraph = IndexedBitGraph.from_bipartite(BipartiteGraph())
+        assert bitgraph.num_vertices == 0
+        assert bitgraph.num_edges == 0
+        assert bitgraph.density == 0.0
+        assert bitgraph.all_left_mask == 0
+
+    def test_restricted_subgraph_matches_induced(self):
+        graph = random_bipartite(10, 10, 0.5, seed=7)
+        left = {0, 2, 4, 6}
+        right = {1, 3, 5}
+        bitgraph = IndexedBitGraph.from_bipartite(graph, left, right)
+        induced = graph.induced_subgraph(left, right)
+        assert bitgraph.num_edges == induced.num_edges
+        for i, u in enumerate(bitgraph.left_labels):
+            assert set(bitgraph.right_labels_of(bitgraph.adj_left[i])) == set(
+                induced.neighbors_left(u)
+            )
+
+    def test_restriction_ignores_missing_vertices(self):
+        graph = BipartiteGraph(edges=[(1, "a")])
+        bitgraph = IndexedBitGraph.from_bipartite(graph, {1, 99}, {"a", "zz"})
+        assert bitgraph.n_left == 1
+        assert bitgraph.n_right == 1
+
+
+class TestKCoreMasks:
+    @pytest.mark.parametrize("k", range(0, 7))
+    def test_matches_set_based_k_core(self, k):
+        graph = random_bipartite(12, 12, 0.5, seed=k)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        left_mask, right_mask = k_core_masks(bitgraph, k)
+        expected = k_core(graph, k)
+        assert set(bitgraph.left_labels_of(left_mask)) == expected.left
+        assert set(bitgraph.right_labels_of(right_mask)) == expected.right
+
+    def test_crown_graph_core(self):
+        bitgraph = IndexedBitGraph.from_bipartite(crown_graph(6))
+        left_mask, right_mask = k_core_masks(bitgraph, 5)
+        assert left_mask.bit_count() == 6
+        assert right_mask.bit_count() == 6
+        left_mask, right_mask = k_core_masks(bitgraph, 6)
+        assert left_mask == 0
+        assert right_mask == 0

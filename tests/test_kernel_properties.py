@@ -1,0 +1,80 @@
+"""Cross-kernel / cross-solver agreement property tests.
+
+On random dense and sparse instances, the bitset-kernel dense solver, the
+set-kernel dense solver, the sparse framework and the basic enumeration
+must all report the same optimal side size, and every returned biclique
+must be a valid balanced biclique of the input graph.  The brute-force
+oracle anchors the small instances to the ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_side_size
+from repro.graph.generators import random_bipartite, random_power_law_bipartite
+from repro.mbb.basic_bb import basic_bb
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS, dense_mbb
+from repro.mbb.solver import solve_mbb
+from repro.mbb.sparse import hbv_mbb
+
+
+def _solver_results(graph):
+    return {
+        "dense-bits": dense_mbb(graph, kernel=KERNEL_BITS),
+        "dense-sets": dense_mbb(graph, kernel=KERNEL_SETS),
+        "sparse": hbv_mbb(graph),
+        "basic": basic_bb(graph),
+    }
+
+
+def _assert_all_agree(graph, expected=None):
+    results = _solver_results(graph)
+    sides = {name: result.side_size for name, result in results.items()}
+    assert len(set(sides.values())) == 1, f"solvers disagree: {sides}"
+    if expected is not None:
+        assert sides["dense-bits"] == expected, sides
+    for name, result in results.items():
+        biclique = result.biclique
+        assert biclique.is_balanced, name
+        assert biclique.is_valid_in(graph), name
+
+
+class TestCrossKernelAgreement:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_dense_instances_match_oracle(self, seed):
+        rng = random.Random(seed)
+        graph = random_bipartite(
+            rng.randint(4, 9),
+            rng.randint(4, 9),
+            rng.choice([0.7, 0.8, 0.9]),
+            seed=seed,
+        )
+        _assert_all_agree(graph, expected=brute_force_side_size(graph))
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_sparse_instances_match_oracle(self, seed):
+        rng = random.Random(1000 + seed)
+        graph = random_bipartite(
+            rng.randint(4, 10),
+            rng.randint(4, 10),
+            rng.choice([0.1, 0.2, 0.3]),
+            seed=seed,
+        )
+        _assert_all_agree(graph, expected=brute_force_side_size(graph))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_power_law_instances_agree(self, seed):
+        graph = random_power_law_bipartite(14, 14, 3.0, seed=seed)
+        _assert_all_agree(graph)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_solve_mbb_kernels_agree(self, seed):
+        graph = random_bipartite(10, 10, 0.5, seed=seed)
+        bits = solve_mbb(graph, kernel=KERNEL_BITS)
+        sets = solve_mbb(graph, kernel=KERNEL_SETS)
+        assert bits.side_size == sets.side_size
+        assert bits.biclique.is_valid_in(graph)
+        assert sets.biclique.is_valid_in(graph)

@@ -1,0 +1,65 @@
+"""Regression tests for the Lemma 5 / S1 early exit.
+
+Historically ``h_mbb`` compared the degeneracy of the graph *after* the
+Lemma 4 core reduction against the incumbent side size.  A nonempty
+``(k + 1)``-core always has degeneracy at least ``k + 1``, so that
+comparison could never succeed: the early exit was dead code and S1 could
+only ever prove optimality by reducing the graph to nothing.  The fixed
+implementation compares against the pre-reduction degeneracy, so S1 can
+terminate the whole search while the residual graph is still nonempty.
+"""
+
+from __future__ import annotations
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import complete_bipartite
+from repro.mbb.heuristics import h_mbb
+from repro.mbb.result import STEP_HEURISTIC
+from repro.mbb.sparse import hbv_mbb
+
+
+def _k55_with_pendants() -> BipartiteGraph:
+    """K_{5,5} plus pendant edges: optimum side 5, degeneracy 5."""
+    graph = complete_bipartite(5, 5)
+    graph.add_edge(5, 0)
+    graph.add_edge(0, 5)
+    return graph
+
+
+class TestLemma5EarlyExit:
+    def test_h_mbb_proves_optimality_on_nonempty_residual(self):
+        graph = _k55_with_pendants()
+        outcome = h_mbb(graph)
+        assert outcome.best.side_size == 5
+        assert outcome.proven_optimal
+        # The whole point of Lemma 5: optimality is certified by the
+        # degeneracy bound, not by reducing the graph to nothing.
+        assert outcome.reduced_graph.num_vertices > 0
+        assert not outcome.exhausted
+
+    def test_sparse_framework_terminates_at_s1(self):
+        graph = _k55_with_pendants()
+        result = hbv_mbb(graph)
+        assert result.optimal
+        assert result.side_size == 5
+        assert result.terminated_at == STEP_HEURISTIC
+
+    def test_complete_graph_terminates_at_s1_with_residual(self):
+        graph = complete_bipartite(5, 5)
+        outcome = h_mbb(graph)
+        assert outcome.proven_optimal
+        assert outcome.best.side_size == 5
+        assert outcome.reduced_graph.num_vertices == graph.num_vertices
+
+    def test_string_labelled_complete_biclique_terminates_at_s1(self):
+        # String labels exercise the label-space handling of the early exit
+        # path: once a side-4 incumbent is known the degeneracy of the graph
+        # certifies it and S1 must terminate the search.
+        graph = BipartiteGraph()
+        for i in range(4):
+            for j in range(4):
+                graph.add_edge(f"L{i}", f"R{j}")
+        result = hbv_mbb(graph)
+        assert result.optimal
+        assert result.side_size == 4
+        assert result.terminated_at == STEP_HEURISTIC

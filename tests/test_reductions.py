@@ -3,10 +3,17 @@
 from __future__ import annotations
 
 from repro.graph.bipartite import BipartiteGraph
-from repro.graph.generators import complete_bipartite, random_bipartite
+from repro.graph.bitset import IndexedBitGraph
+from repro.graph.generators import complete_bipartite, crown_graph, random_bipartite
 from repro.cores.core import degeneracy
 from repro.mbb.context import SearchContext
-from repro.mbb.reductions import NodeState, core_reduce, reduce_node
+from repro.mbb.reductions import (
+    BitNodeState,
+    NodeState,
+    core_reduce,
+    reduce_node,
+    reduce_node_bits,
+)
 from repro.baselines.brute_force import brute_force_side_size
 
 
@@ -98,3 +105,66 @@ class TestCoreReduce:
         reduced = core_reduce(graph, best_side)
         # Nothing can have degree >= degeneracy + 1 everywhere.
         assert reduced.num_vertices == 0 or degeneracy(reduced) >= best_side + 1
+
+
+class TestBitsetReductions:
+    def test_bitset_state_upper_bound(self):
+        state = BitNodeState(0b1, 0b0, 0b110, 0b10)
+        assert state.upper_bound_side == min(3, 1)
+
+    def test_forces_universal_candidates_like_set_kernel(self):
+        graph = complete_bipartite(3, 3)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        context = SearchContext()
+        state = BitNodeState(0, 0, bitgraph.all_left_mask, bitgraph.all_right_mask)
+        reduce_node_bits(bitgraph, state, context)
+        assert state.a == bitgraph.all_left_mask
+        assert state.b == bitgraph.all_right_mask
+        assert state.ca == 0 and state.cb == 0
+        assert context.stats.reductions_forced == 6
+
+    def test_agrees_with_set_reduction_on_random_instances(self):
+        for seed in range(12):
+            graph = random_bipartite(8, 8, 0.5, seed=seed)
+            optimum = brute_force_side_size(graph)
+
+            context = SearchContext()
+            bitgraph = IndexedBitGraph.from_bipartite(graph)
+            state = BitNodeState(
+                0, 0, bitgraph.all_left_mask, bitgraph.all_right_mask
+            )
+            reduce_node_bits(bitgraph, state, context)
+            remaining = graph.induced_subgraph(
+                bitgraph.left_labels_of(state.a | state.ca),
+                bitgraph.right_labels_of(state.b | state.cb),
+            )
+            # The reduced instance still contains an optimum solution.
+            assert brute_force_side_size(remaining) == optimum
+
+    def test_branch_candidate_byproduct(self):
+        # Crown graph (no universal candidates, so nothing is forced or
+        # removed at incumbent 0) with two extra edges deleted: left 0 then
+        # misses three right vertices and is the unique triviality-last
+        # branch choice; every right vertex misses at most two.
+        graph = crown_graph(6)
+        graph.remove_edge(0, 1)
+        graph.remove_edge(0, 2)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        context = SearchContext()
+        state = BitNodeState(0, 0, bitgraph.all_left_mask, bitgraph.all_right_mask)
+        best_left, best_right = reduce_node_bits(bitgraph, state, context)
+        assert best_right is None
+        assert best_left is not None
+        missing, bit, neighbours = best_left
+        assert missing == 3
+        assert bitgraph.left_labels_of(bit) == [0]
+        assert set(bitgraph.right_labels_of(neighbours)) == {3, 4, 5}
+
+    def test_no_branch_candidate_when_polynomially_solvable(self):
+        # Crown graph: every vertex misses exactly one opposite neighbour.
+        graph = crown_graph(5)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        context = SearchContext()
+        state = BitNodeState(0, 0, bitgraph.all_left_mask, bitgraph.all_right_mask)
+        best_left, best_right = reduce_node_bits(bitgraph, state, context)
+        assert best_left is None and best_right is None
