@@ -17,7 +17,7 @@ pytestmark = pytest.mark.bench
 
 from repro.analysis.metrics import average_subgraph_density
 from repro.bench.figure6 import format_figure6, run_figure6
-from repro.cores.orders import ORDER_BIDEGENERACY, ORDER_DEGREE
+from repro.cores.orders import ORDER_BIDEGENERACY
 from repro.workloads.datasets import load_dataset
 
 FIGURE_DATASETS = ("jester", "github", "actor-movie", "discogs-affiliation")

@@ -18,6 +18,21 @@ Quickstart
 
 API notes
 ---------
+:func:`solve_mbb` is a thin wrapper over the service API in
+:mod:`repro.api`: solvers are *named backends* in a registry
+(:func:`~repro.api.available_backends`), a
+:class:`~repro.api.SolveRequest` / :class:`~repro.api.SolveReport` pair is
+the JSON wire format, and :class:`~repro.api.MBBEngine` executes one
+request — or a batch of them across a process pool via
+:meth:`~repro.api.MBBEngine.solve_many`.
+
+>>> from repro.api import GraphSpec, MBBEngine, SolveRequest
+>>> report = MBBEngine().solve(
+...     SolveRequest(graph=GraphSpec.random(10, 10, 0.8, seed=7), backend="dense")
+... )
+>>> report.side_size >= 3
+True
+
 Both exact solvers run their branch and bound on an indexed bitset kernel
 by default: the graph is mapped onto contiguous indices
 (:class:`~repro.graph.bitset.IndexedBitGraph`) and candidate-set
@@ -36,6 +51,8 @@ The package is organised as:
 * :mod:`repro.mbb` — the paper's algorithms (denseMBB, hbvMBB, ...);
 * :mod:`repro.baselines` — ExtBBClq, adapted MBE engines, local search,
   the brute-force oracle and the polynomial MVB solver;
+* :mod:`repro.api` — the service layer: backend registry, request/report
+  wire format and the batch-parallel :class:`~repro.api.MBBEngine`;
 * :mod:`repro.workloads` — synthetic workloads and KONECT stand-ins;
 * :mod:`repro.analysis` / :mod:`repro.bench` — the evaluation harness that
   regenerates every table and figure of the paper.
@@ -76,8 +93,18 @@ from repro.mbb import (
     solve_mbb,
     sparse_mbb,
 )
+from repro.api import (
+    BackendInfo,
+    GraphSpec,
+    MBBEngine,
+    SolveReport,
+    SolveRequest,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -105,6 +132,15 @@ __all__ = [
     "hbv_mbb",
     "sparse_mbb",
     "basic_bb",
+    # service API
+    "MBBEngine",
+    "SolveRequest",
+    "SolveReport",
+    "GraphSpec",
+    "BackendInfo",
+    "register_backend",
+    "get_backend",
+    "available_backends",
     # exceptions
     "ReproError",
     "GraphError",

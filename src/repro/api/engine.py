@@ -1,0 +1,224 @@
+"""The :class:`MBBEngine` service facade: one solve, or a parallel batch.
+
+The engine is the single entry point everything else is a wrapper around:
+
+* :meth:`MBBEngine.solve_graph` — solve an in-memory graph with a named
+  backend (what :func:`repro.solve_mbb` delegates to);
+* :meth:`MBBEngine.solve` — execute one :class:`~repro.api.request.SolveRequest`
+  end to end (materialise the graph, run the backend, build the report);
+* :meth:`MBBEngine.solve_many` — execute a batch of requests over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, with results returned
+  in request order regardless of completion order.  Requests cross the
+  process boundary as their JSON wire form, so every batch run also
+  exercises the serialisation path a future network server would use.
+
+Budgets flow through one mechanism: the engine builds a single
+:class:`~repro.mbb.context.SearchContext` per request carrying the node
+budget, the time budget and an absolute deadline, and hands it to the
+backend; solvers abort cooperatively through the context instead of each
+plumbing its own budget arguments.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.registry import SolverBackend, get_backend
+from repro.api.request import SolveReport, SolveRequest
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph
+from repro.mbb.context import SearchContext
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
+from repro.mbb.result import MBBResult
+
+_KERNELS = (KERNEL_BITS, KERNEL_SETS)
+
+
+def _solve_request_json(payload: str) -> str:
+    """Worker-process entry point: JSON request in, JSON report out.
+
+    Module-level so it pickles by reference; the worker reconstructs the
+    request from its wire form, which keeps the process-pool path on the
+    exact same format a network server would receive.
+    """
+    report = MBBEngine().solve(SolveRequest.from_json(payload))
+    return report.to_json()
+
+
+class MBBEngine:
+    """Facade dispatching solves to registered backends.
+
+    Parameters
+    ----------
+    max_workers:
+        Default process-pool size for :meth:`solve_many` (defaults to the
+        CPU count, capped by the batch size).
+    """
+
+    def __init__(self, *, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise InvalidParameterError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    # single solves
+    # ------------------------------------------------------------------
+    def solve_graph(
+        self,
+        graph: BipartiteGraph,
+        *,
+        backend: str = "auto",
+        kernel: str = KERNEL_BITS,
+        node_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+        seed: int = 0,
+        **backend_options: object,
+    ) -> MBBResult:
+        """Solve an in-memory graph with a named backend.
+
+        This is the programmatic fast path used by :func:`repro.solve_mbb`;
+        it skips the request/report wire format but runs the exact same
+        validation and dispatch.
+        """
+        result, _, _ = self._dispatch(
+            graph,
+            backend=backend,
+            kernel=kernel,
+            node_budget=node_budget,
+            time_budget=time_budget,
+            seed=seed,
+            **backend_options,
+        )
+        return result
+
+    def solve(
+        self, request: SolveRequest, *, graph: Optional[BipartiteGraph] = None
+    ) -> SolveReport:
+        """Execute one request end to end and return its report.
+
+        ``graph`` lets a caller that already materialised the request's
+        graph (e.g. to print its shape) skip a second materialisation; it
+        must be the graph the request's spec describes.
+        """
+        if graph is None:
+            graph = request.graph.materialise()
+        result, resolved, kernel = self._dispatch(
+            graph,
+            backend=request.backend,
+            kernel=request.kernel,
+            node_budget=request.node_budget,
+            time_budget=request.time_budget,
+            seed=request.seed,
+        )
+        return SolveReport.from_result(
+            request, result, backend=resolved, kernel=kernel, graph=graph
+        )
+
+    # ------------------------------------------------------------------
+    # batch solves
+    # ------------------------------------------------------------------
+    def solve_many(
+        self,
+        requests: Iterable[SolveRequest],
+        *,
+        max_workers: Optional[int] = None,
+        parallel: bool = True,
+    ) -> List[SolveReport]:
+        """Execute a batch of requests, in a process pool when possible.
+
+        Results are returned in request order regardless of which worker
+        finishes first, so a batch is deterministic given deterministic
+        backends.  Each request enforces its own budgets inside its
+        worker.  With ``parallel=False`` (or a single-request batch, or a
+        platform where process pools are unavailable) the batch runs
+        serially in-process and produces the same reports apart from
+        timings.
+        """
+        batch: Sequence[SolveRequest] = list(requests)
+        if not batch:
+            return []
+        if not parallel or len(batch) == 1:
+            return [self.solve(request) for request in batch]
+        workers = max_workers or self.max_workers or os.cpu_count() or 1
+        workers = max(1, min(workers, len(batch)))
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, PermissionError):
+            # Process pools need working semaphores/fork support; fall
+            # back to a serial batch on platforms that refuse them.  Only
+            # pool *creation* is guarded: a request that fails inside a
+            # worker propagates instead of silently re-running the batch.
+            return [self.solve(request) for request in batch]
+        with pool:
+            futures = [
+                pool.submit(_solve_request_json, request.to_json())
+                for request in batch
+            ]
+            return [SolveReport.from_json(future.result()) for future in futures]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        graph: BipartiteGraph,
+        *,
+        backend: str,
+        kernel: str,
+        node_budget: Optional[int],
+        time_budget: Optional[float],
+        seed: int,
+        **backend_options: object,
+    ) -> Tuple[MBBResult, str, str]:
+        """Validate, build the shared context, run the backend."""
+        solver = get_backend(backend)
+        self._validate(solver, kernel, node_budget, time_budget)
+        # The time budget is expressed solely as an absolute deadline so
+        # enter_node pays one clock read per search node, and so the
+        # cutoff survives the context being handed across solver stages.
+        context = SearchContext(node_budget=node_budget)
+        if time_budget is not None:
+            context.deadline = time.perf_counter() + time_budget
+        result = solver.run(graph, context, kernel=kernel, seed=seed, **backend_options)
+        resolved = backend
+        if backend == "auto":
+            from repro.api.backends import resolve_auto
+
+            resolved = resolve_auto(graph)
+        return result, resolved, kernel
+
+    @staticmethod
+    def _validate(
+        solver: SolverBackend,
+        kernel: str,
+        node_budget: Optional[int],
+        time_budget: Optional[float],
+    ) -> None:
+        if kernel not in _KERNELS:
+            raise InvalidParameterError(
+                f"unknown kernel {kernel!r}; expected one of {_KERNELS}"
+            )
+        info = solver.info
+        if info.kernels and kernel not in info.kernels:
+            raise InvalidParameterError(
+                f"backend {info.name!r} supports kernels {info.kernels}, got {kernel!r}"
+            )
+        if not info.supports_budgets and (
+            node_budget is not None or time_budget is not None
+        ):
+            raise InvalidParameterError(
+                f"backend {info.name!r} does not support node/time budgets"
+            )
+        if node_budget is not None and node_budget < 0:
+            raise InvalidParameterError(
+                f"node_budget must be non-negative, got {node_budget}"
+            )
+        if time_budget is not None and time_budget < 0:
+            raise InvalidParameterError(
+                f"time_budget must be non-negative, got {time_budget}"
+            )

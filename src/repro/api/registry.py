@@ -1,0 +1,151 @@
+"""Named solver backends: protocol, capability metadata and registry.
+
+Every solver in the library — the paper's two exact algorithms, the basic
+enumeration, the size-constrained reduction and all baselines — is
+registered here under a stable name together with capability metadata
+(exact vs heuristic, supported kernels, budget/seed support).  Callers
+dispatch by name through :func:`get_backend` instead of hardcoding
+if/elif chains, which is what lets the CLI, the benchmark harness and the
+:class:`~repro.api.engine.MBBEngine` service facade share one dispatch
+surface; a future server registers custom backends the same way.
+
+A backend is any object satisfying the :class:`SolverBackend` protocol;
+in practice almost every backend is a :class:`FunctionBackend` wrapping a
+plain solver function.  Backend ``run`` implementations receive the
+engine-owned :class:`~repro.mbb.context.SearchContext`, so budgets,
+cancellation hooks and statistics flow through one mechanism no matter
+which backend executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Protocol, Tuple, runtime_checkable
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph
+from repro.mbb.context import SearchContext
+from repro.mbb.result import MBBResult
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Capability metadata of a registered backend."""
+
+    #: Registry name (also the CLI ``--backend`` value).
+    name: str
+    #: One-line human description shown by ``repro-mbb backends``.
+    description: str = ""
+    #: ``True`` when the backend proves optimality (given enough budget).
+    exact: bool = True
+    #: Branch-and-bound kernels the backend understands (empty when the
+    #: backend has a single fixed implementation and ignores ``kernel``).
+    kernels: Tuple[str, ...] = ()
+    #: ``True`` when node/time budgets are enforced cooperatively.
+    supports_budgets: bool = True
+    #: ``True`` when the ``seed`` request field changes behaviour.
+    supports_seed: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form used by the CLI's ``backends --json`` listing."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "exact": self.exact,
+            "kernels": list(self.kernels),
+            "supports_budgets": self.supports_budgets,
+            "supports_seed": self.supports_seed,
+        }
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """Protocol every registered backend satisfies."""
+
+    info: BackendInfo
+
+    def run(
+        self,
+        graph: BipartiteGraph,
+        context: SearchContext,
+        *,
+        kernel: str,
+        seed: int,
+        **options: object,
+    ) -> MBBResult:
+        """Solve ``graph``, reporting through the caller-owned ``context``."""
+        ...  # pragma: no cover - protocol body
+
+
+@dataclass(frozen=True)
+class FunctionBackend:
+    """A :class:`SolverBackend` wrapping a plain solver function."""
+
+    info: BackendInfo
+    function: Callable[..., MBBResult] = field(repr=False)
+
+    def run(
+        self,
+        graph: BipartiteGraph,
+        context: SearchContext,
+        *,
+        kernel: str,
+        seed: int,
+        **options: object,
+    ) -> MBBResult:
+        return self.function(graph, context, kernel=kernel, seed=seed, **options)
+
+
+_REGISTRY: Dict[str, SolverBackend] = {}
+
+
+def _ensure_builtin_backends() -> None:
+    # Imported lazily so `repro.api.registry` stays importable from the
+    # backend module itself without a cycle.
+    from repro.api import backends  # noqa: F401
+
+
+def register_backend(backend: SolverBackend, *, replace: bool = False) -> SolverBackend:
+    """Register a backend under ``backend.info.name``.
+
+    Re-registering an existing name raises unless ``replace=True`` (so a
+    typo cannot silently shadow a built-in solver).  Returns the backend,
+    allowing use as a decorator-style one-liner.
+    """
+    name = backend.info.name
+    if not name:
+        raise InvalidParameterError("backend name must be non-empty")
+    if not replace and name in _REGISTRY:
+        raise InvalidParameterError(
+            f"backend {name!r} is already registered (pass replace=True to override)"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (used by tests registering temporary backends)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> SolverBackend:
+    """Look up a backend by name; raises for unknown names."""
+    _ensure_builtin_backends()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown backend {name!r}; expected one of {available_backends()}"
+        ) from None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Sorted names of every registered backend."""
+    _ensure_builtin_backends()
+    return tuple(sorted(_REGISTRY))
+
+
+def backend_infos() -> List[BackendInfo]:
+    """Capability metadata of every registered backend, sorted by name."""
+    _ensure_builtin_backends()
+    return [_REGISTRY[name].info for name in sorted(_REGISTRY)]

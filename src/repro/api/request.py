@@ -1,0 +1,347 @@
+"""The engine's wire format: graph sources, solve requests, solve reports.
+
+The CLI, the benchmark harness, the process-pool batch executor and any
+future server all speak this one format: a :class:`SolveRequest` says
+*what to solve and how* (graph source, backend name, kernel, budgets,
+seed) and a :class:`SolveReport` says *what happened* (the biclique,
+optimality, statistics, timings, backend provenance and library version).
+Both round-trip losslessly through JSON — ``from_json(x.to_json()) == x``
+— which is what lets :meth:`MBBEngine.solve_many
+<repro.api.engine.MBBEngine.solve_many>` ship requests to worker
+processes as plain strings and what makes ``repro-mbb solve --json``
+output machine-consumable.
+
+Graphs are described by a :class:`GraphSpec` rather than embedded as live
+objects: a spec names a built-in dataset, an edge-list file, an inline
+edge list, or a synthetic-generator configuration, and is materialised on
+the solving side.  Inline edge labels must be JSON-representable (ints or
+strings) for the JSON round-trip to be lossless.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.mbb.dense import KERNEL_BITS
+from repro.mbb.result import Biclique, MBBResult, SearchStats
+
+#: ``GraphSpec.kind`` values.
+SOURCE_DATASET = "dataset"
+SOURCE_PATH = "path"
+SOURCE_EDGES = "edges"
+SOURCE_RANDOM = "random"
+SOURCE_POWER_LAW = "power_law"
+
+_SOURCE_KINDS = (
+    SOURCE_DATASET,
+    SOURCE_PATH,
+    SOURCE_EDGES,
+    SOURCE_RANDOM,
+    SOURCE_POWER_LAW,
+)
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A JSON-serialisable description of where a graph comes from."""
+
+    kind: str
+    #: ``dataset``: registry name of a built-in KONECT stand-in.
+    name: Optional[str] = None
+    #: ``path``: edge-list file (KONECT-style ``left right`` lines).
+    path: Optional[str] = None
+    #: ``edges``: inline edge list.
+    edges: Optional[Tuple[Tuple[Vertex, Vertex], ...]] = None
+    #: ``random`` / ``power_law``: generator parameters.
+    n_left: Optional[int] = None
+    n_right: Optional[int] = None
+    density: Optional[float] = None
+    avg_degree: Optional[float] = None
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def dataset(cls, name: str) -> "GraphSpec":
+        """A built-in dataset stand-in by name."""
+        return cls(kind=SOURCE_DATASET, name=name)
+
+    @classmethod
+    def from_path(cls, path: str) -> "GraphSpec":
+        """An edge-list file on disk."""
+        return cls(kind=SOURCE_PATH, path=str(path))
+
+    @classmethod
+    def inline(cls, edges) -> "GraphSpec":
+        """An inline edge list (labels must be JSON-representable)."""
+        return cls(kind=SOURCE_EDGES, edges=tuple((u, v) for u, v in edges))
+
+    @classmethod
+    def random(
+        cls, n_left: int, n_right: int, density: float, *, seed: int = 0
+    ) -> "GraphSpec":
+        """A uniform random bipartite graph."""
+        return cls(
+            kind=SOURCE_RANDOM,
+            n_left=n_left,
+            n_right=n_right,
+            density=density,
+            seed=seed,
+        )
+
+    @classmethod
+    def power_law(
+        cls, n_left: int, n_right: int, avg_degree: float, *, seed: int = 0
+    ) -> "GraphSpec":
+        """A power-law (Chung-Lu) sparse bipartite graph."""
+        return cls(
+            kind=SOURCE_POWER_LAW,
+            n_left=n_left,
+            n_right=n_right,
+            avg_degree=avg_degree,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # materialisation and (de)serialisation
+    # ------------------------------------------------------------------
+    def materialise(self) -> BipartiteGraph:
+        """Build the described :class:`BipartiteGraph`."""
+        if self.kind == SOURCE_DATASET:
+            from repro.workloads.datasets import load_dataset
+
+            if self.name is None:
+                raise InvalidParameterError("dataset graph spec requires 'name'")
+            return load_dataset(self.name)
+        if self.kind == SOURCE_PATH:
+            from repro.graph.io import read_edge_list
+
+            if self.path is None:
+                raise InvalidParameterError("path graph spec requires 'path'")
+            return read_edge_list(self.path)
+        if self.kind == SOURCE_EDGES:
+            return BipartiteGraph(edges=self.edges or ())
+        if self.kind == SOURCE_RANDOM:
+            from repro.graph.generators import random_bipartite
+
+            if self.n_left is None or self.n_right is None or self.density is None:
+                raise InvalidParameterError(
+                    "random graph spec requires n_left, n_right and density"
+                )
+            return random_bipartite(
+                self.n_left, self.n_right, self.density, seed=self.seed
+            )
+        if self.kind == SOURCE_POWER_LAW:
+            from repro.graph.generators import random_power_law_bipartite
+
+            if self.n_left is None or self.n_right is None or self.avg_degree is None:
+                raise InvalidParameterError(
+                    "power_law graph spec requires n_left, n_right and avg_degree"
+                )
+            return random_power_law_bipartite(
+                self.n_left, self.n_right, self.avg_degree, seed=self.seed
+            )
+        raise InvalidParameterError(
+            f"unknown graph source kind {self.kind!r}; expected one of {_SOURCE_KINDS}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form with ``None`` fields omitted."""
+        payload: Dict[str, object] = {"kind": self.kind}
+        for spec_field in fields(self):
+            if spec_field.name == "kind":
+                continue
+            value = getattr(self, spec_field.name)
+            if value is None:
+                continue
+            if spec_field.name == "edges":
+                value = [[u, v] for u, v in value]
+            payload[spec_field.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "GraphSpec":
+        """Inverse of :meth:`to_dict`."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown graph spec fields {sorted(unknown)}; expected {sorted(known)}"
+            )
+        data = dict(payload)
+        if "edges" in data and data["edges"] is not None:
+            data["edges"] = tuple((u, v) for u, v in data["edges"])
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve: a graph source plus backend, kernel, budgets and seed."""
+
+    graph: GraphSpec
+    backend: str = "auto"
+    kernel: str = KERNEL_BITS
+    node_budget: Optional[int] = None
+    time_budget: Optional[float] = None
+    #: Seed forwarded to randomised backends (local search, adp1..adp4).
+    seed: int = 0
+    #: Free-form caller label, echoed back in the report (batch bookkeeping).
+    tag: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form with ``None`` fields omitted."""
+        payload: Dict[str, object] = {"graph": self.graph.to_dict()}
+        for request_field in fields(self):
+            if request_field.name == "graph":
+                continue
+            value = getattr(self, request_field.name)
+            if value is not None:
+                payload[request_field.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SolveRequest":
+        """Inverse of :meth:`to_dict`."""
+        if "graph" not in payload:
+            raise InvalidParameterError("solve request requires a 'graph' spec")
+        known = {request_field.name for request_field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown request fields {sorted(unknown)}; expected {sorted(known)}"
+            )
+        data = dict(payload)
+        data["graph"] = GraphSpec.from_dict(dict(data["graph"]))  # type: ignore[arg-type]
+        return cls(**data)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string (lossless; see :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SolveRequest":
+        """Parse a request serialised with :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """Outcome of one :class:`SolveRequest`, JSON round-trippable."""
+
+    request: SolveRequest
+    side_size: int
+    #: The biclique's vertices, sorted by ``repr`` for determinism.
+    left: Tuple[Vertex, ...]
+    right: Tuple[Vertex, ...]
+    optimal: bool
+    terminated_at: Optional[str]
+    elapsed_seconds: float
+    #: Full :class:`~repro.mbb.result.SearchStats` counters.
+    stats: Dict[str, int] = field(default_factory=dict)
+    #: Backend that actually ran (``auto`` resolves to ``dense``/``sparse``).
+    backend: str = "auto"
+    kernel: str = KERNEL_BITS
+    #: Shape of the solved graph (|L|, |R|, |E|) — provenance for batch
+    #: consumers that never materialise the graph themselves.
+    num_left: int = 0
+    num_right: int = 0
+    num_edges: int = 0
+    #: Library version that produced the report (provenance).
+    version: str = ""
+
+    @classmethod
+    def from_result(
+        cls,
+        request: SolveRequest,
+        result: MBBResult,
+        *,
+        backend: str,
+        kernel: str,
+        graph: Optional[BipartiteGraph] = None,
+    ) -> "SolveReport":
+        """Build a report from a solver's :class:`MBBResult`."""
+        from repro import __version__
+
+        biclique = result.biclique
+        return cls(
+            request=request,
+            side_size=result.side_size,
+            left=tuple(sorted(biclique.left, key=repr)),
+            right=tuple(sorted(biclique.right, key=repr)),
+            optimal=result.optimal,
+            terminated_at=result.terminated_at,
+            elapsed_seconds=result.elapsed_seconds,
+            stats=asdict(result.stats),
+            backend=backend,
+            kernel=kernel,
+            num_left=graph.num_left if graph is not None else 0,
+            num_right=graph.num_right if graph is not None else 0,
+            num_edges=graph.num_edges if graph is not None else 0,
+            version=__version__,
+        )
+
+    @property
+    def biclique(self) -> Biclique:
+        """The reported biclique as a :class:`Biclique` object."""
+        return Biclique.of(self.left, self.right)
+
+    def to_result(self) -> MBBResult:
+        """Reconstruct the :class:`MBBResult` the report was built from."""
+        return MBBResult(
+            biclique=self.biclique,
+            optimal=self.optimal,
+            terminated_at=self.terminated_at,
+            stats=SearchStats(**self.stats),
+            elapsed_seconds=self.elapsed_seconds,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (request nested via :meth:`SolveRequest.to_dict`)."""
+        return {
+            "request": self.request.to_dict(),
+            "side_size": self.side_size,
+            "left": list(self.left),
+            "right": list(self.right),
+            "optimal": self.optimal,
+            "terminated_at": self.terminated_at,
+            "elapsed_seconds": self.elapsed_seconds,
+            "stats": dict(self.stats),
+            "backend": self.backend,
+            "kernel": self.kernel,
+            "num_left": self.num_left,
+            "num_right": self.num_right,
+            "num_edges": self.num_edges,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SolveReport":
+        """Inverse of :meth:`to_dict`."""
+        if "request" not in payload:
+            raise InvalidParameterError("solve report requires a 'request'")
+        known = {report_field.name for report_field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown report fields {sorted(unknown)}; expected {sorted(known)}"
+            )
+        data = dict(payload)
+        data["request"] = SolveRequest.from_dict(dict(data["request"]))  # type: ignore[arg-type]
+        data["left"] = tuple(data.get("left", ()))  # type: ignore[arg-type]
+        data["right"] = tuple(data.get("right", ()))  # type: ignore[arg-type]
+        data["stats"] = dict(data.get("stats", {}))  # type: ignore[arg-type]
+        return cls(**data)  # type: ignore[arg-type]
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string (lossless; see :meth:`from_json`)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SolveReport":
+        """Parse a report serialised with :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))

@@ -56,6 +56,7 @@ def run_adapted_baseline(
     *,
     heuristic_iterations: int = 2000,
     seed: int = 0,
+    context: Optional[SearchContext] = None,
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
 ) -> MBBResult:
@@ -67,9 +68,13 @@ def run_adapted_baseline(
         Baseline identifier (see :data:`ADAPTED_BASELINES`).
     heuristic_iterations, seed:
         Forwarded to the local-search heuristic.
+    context:
+        Optional pre-seeded :class:`SearchContext` (shared incumbent,
+        budgets and cancellation hook); a fresh one is created by default.
     node_budget, time_budget:
         Budgets for the exhaustive stage; when exhausted the result has
         ``optimal=False`` (the analogue of the paper's timeout dashes).
+        Ignored when an explicit ``context`` already carries budgets.
     """
     if name not in ADAPTED_BASELINES:
         raise InvalidParameterError(
@@ -80,7 +85,15 @@ def run_adapted_baseline(
     heuristic = _HEURISTICS[spec["heuristic"]]
     engine = _ENGINES[spec["engine"]]
 
-    context = SearchContext(node_budget=node_budget, time_budget=time_budget)
+    if context is None:
+        context = SearchContext(node_budget=node_budget, time_budget=time_budget)
+    else:
+        # Explicit budget arguments still apply to a provided context when
+        # it does not already carry its own.
+        if context.node_budget is None and node_budget is not None:
+            context.node_budget = node_budget
+        if context.time_budget is None and time_budget is not None:
+            context.time_budget = time_budget
     incumbent = heuristic(graph, iterations=heuristic_iterations, seed=seed)
     context.offer_biclique(incumbent)
     context.stats.heuristic_side = context.best_side

@@ -1,9 +1,19 @@
-"""Shared helpers for the benchmark harness: timing and table rendering."""
+"""Shared helpers for the benchmark harness: backend dispatch, timing, tables.
+
+Every table/figure runner dispatches solvers through :func:`run_backend`,
+i.e. through the :mod:`repro.api` backend registry, so the bench suites
+exercise exactly the code path the CLI and the engine expose — no more
+direct calls into solver internals.
+"""
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.mbb.dense import KERNEL_BITS
+from repro.mbb.result import MBBResult
 
 
 def timed(function: Callable, *args, **kwargs) -> Tuple[object, float]:
@@ -11,6 +21,37 @@ def timed(function: Callable, *args, **kwargs) -> Tuple[object, float]:
     start = time.perf_counter()
     result = function(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+def run_backend(
+    graph: BipartiteGraph,
+    backend: str,
+    *,
+    kernel: str = KERNEL_BITS,
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    seed: int = 0,
+    **backend_options: object,
+) -> Tuple[MBBResult, float]:
+    """Time one registered backend on ``graph``.
+
+    Returns ``(result, elapsed_seconds)``; extra keyword arguments are
+    forwarded to the backend (e.g. ``initial_best`` for ``dense``,
+    ``sparse_config`` for ``sparse``).
+    """
+    from repro.api.engine import MBBEngine
+
+    result, elapsed = timed(
+        MBBEngine().solve_graph,
+        graph,
+        backend=backend,
+        kernel=kernel,
+        node_budget=node_budget,
+        time_budget=time_budget,
+        seed=seed,
+        **backend_options,
+    )
+    return result, elapsed  # type: ignore[return-value]
 
 
 def format_cell(value: object) -> str:

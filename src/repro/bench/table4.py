@@ -17,9 +17,7 @@ from __future__ import annotations
 from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.extbbclq import ext_bbclq
-from repro.bench.harness import format_table, timed
-from repro.mbb.dense import dense_mbb
+from repro.bench.harness import format_table, run_backend
 from repro.mbb.heuristics import degree_heuristic
 from repro.workloads.synthetic import (
     DEFAULT_DENSE_SIDES,
@@ -32,6 +30,9 @@ from repro.workloads.synthetic import (
 #: density, one column pair per size).
 ALGORITHMS = ("extBBCl", "denseMBB")
 
+#: Column label -> registry backend name.
+BACKENDS = {"extBBCl": "extbbclq", "denseMBB": "dense"}
+
 
 def run_cell(
     case: DenseCase,
@@ -41,23 +42,19 @@ def run_cell(
     instances: int = 2,
 ) -> Dict[str, object]:
     """Run one (size, density, algorithm) cell and average over instances."""
+    if algorithm not in BACKENDS:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
     times: List[float] = []
     sides: List[int] = []
     timed_out = False
     for instance in range(instances):
         graph = dense_case_graph(case, instance)
+        options = {}
         if algorithm == "denseMBB":
-            seed_biclique = degree_heuristic(graph)
-            result, elapsed = timed(
-                dense_mbb,
-                graph,
-                initial_best=seed_biclique,
-                time_budget=time_budget,
-            )
-        elif algorithm == "extBBCl":
-            result, elapsed = timed(ext_bbclq, graph, time_budget=time_budget)
-        else:
-            raise ValueError(f"unknown algorithm {algorithm!r}")
+            options["initial_best"] = degree_heuristic(graph)
+        result, elapsed = run_backend(
+            graph, BACKENDS[algorithm], time_budget=time_budget, **options
+        )
         times.append(elapsed)
         sides.append(result.side_size)
         if not result.optimal:

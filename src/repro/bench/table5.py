@@ -14,14 +14,21 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.baselines.adapted import ADAPTED_BASELINES, run_adapted_baseline
-from repro.baselines.extbbclq import ext_bbclq
-from repro.bench.harness import format_table, timed
-from repro.mbb.sparse import SparseConfig, hbv_mbb
+from repro.bench.harness import format_table, run_backend
 from repro.workloads.datasets import DATASETS, DatasetSpec
 
 #: Algorithm columns in the paper's order.
 ALGORITHMS = ("adp1", "adp2", "adp3", "adp4", "extBBCl", "hbvMBB")
+
+#: Column label -> registry backend name.
+BACKENDS = {
+    "adp1": "adp1",
+    "adp2": "adp2",
+    "adp3": "adp3",
+    "adp4": "adp4",
+    "extBBCl": "extbbclq",
+    "hbvMBB": "sparse",
+}
 
 
 def run_dataset(
@@ -40,19 +47,13 @@ def run_dataset(
     }
     optimum = None
     for name in algorithms:
-        if name == "hbvMBB":
-            result, elapsed = timed(
-                hbv_mbb, graph, config=SparseConfig(time_budget=time_budget)
-            )
-            row["step"] = result.terminated_at
-        elif name == "extBBCl":
-            result, elapsed = timed(ext_bbclq, graph, time_budget=time_budget)
-        elif name in ADAPTED_BASELINES:
-            result, elapsed = timed(
-                run_adapted_baseline, graph, name, time_budget=time_budget
-            )
-        else:
+        if name not in BACKENDS:
             raise ValueError(f"unknown algorithm {name!r}")
+        result, elapsed = run_backend(
+            graph, BACKENDS[name], time_budget=time_budget
+        )
+        if name == "hbvMBB":
+            row["step"] = result.terminated_at
         row[name] = elapsed if result.optimal else "-"
         if result.optimal:
             optimum = (

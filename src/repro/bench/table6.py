@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.harness import format_table, timed
+from repro.bench.harness import format_table, run_backend, timed
 from repro.cores.bicore import bidegeneracy_order
 from repro.cores.core import degeneracy_order
 from repro.mbb.heuristics import h_mbb
-from repro.mbb.sparse import VARIANT_CONFIGS, hbv_mbb, variant_with_budget
+from repro.mbb.sparse import VARIANT_CONFIGS, variant
 from repro.workloads.datasets import DATASETS, TOUGH_DATASETS
 
 #: Columns of the breakdown, in the paper's order.
@@ -59,8 +59,12 @@ def run_dataset_breakdown(
     row["bdegOrder"] = bdeg_time
 
     for variant_name in ("bd1", "bd2", "bd3", "bd4", "bd5", "hbvMBB"):
-        config = variant_with_budget(variant_name, time_budget=time_budget)
-        result, elapsed = timed(hbv_mbb, graph, config=config)
+        result, elapsed = run_backend(
+            graph,
+            "sparse",
+            time_budget=time_budget,
+            sparse_config=variant(variant_name),
+        )
         row[variant_name] = elapsed if result.optimal else "-"
         if variant_name == "hbvMBB":
             row["optimum"] = result.side_size

@@ -3,29 +3,44 @@
 The CLI covers the everyday workflows of a downstream user without writing
 any Python:
 
-* ``repro-mbb solve`` — load an edge list (or generate a random graph) and
-  print its maximum balanced biclique;
+* ``repro-mbb solve`` — load an edge list (or a built-in dataset stand-in)
+  and print its maximum balanced biclique, as text or as a JSON
+  :class:`~repro.api.SolveReport`;
+* ``repro-mbb batch`` — run a JSON file of solve requests through the
+  engine's process-pool executor and emit the reports as JSON;
+* ``repro-mbb backends`` — list the registered solver backends and their
+  capabilities;
 * ``repro-mbb generate`` — write a synthetic bipartite graph to an edge list;
 * ``repro-mbb datasets`` — list the built-in KONECT stand-ins;
 * ``repro-mbb bench`` — regenerate one of the paper's tables or figures.
 
-Every command prints plain text to stdout and returns a conventional exit
+Solver choices are derived from the :mod:`repro.api` backend registry, so
+a backend registered at runtime (or added in a later version) shows up in
+``--backend`` without touching this module.  Every command prints plain
+text (or JSON where requested) to stdout and returns a conventional exit
 code, so the CLI composes with shell pipelines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro import __version__
+from repro.api import (
+    GraphSpec,
+    MBBEngine,
+    SolveRequest,
+    available_backends,
+    backend_infos,
+)
 from repro.exceptions import ReproError
 from repro.graph.generators import random_bipartite, random_power_law_bipartite
-from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.io import write_edge_list
 from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
-from repro.mbb.solver import METHOD_AUTO, solve_mbb
-from repro.workloads.datasets import DATASETS, load_dataset
+from repro.workloads.datasets import DATASETS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -42,10 +57,12 @@ def _build_parser() -> argparse.ArgumentParser:
     source.add_argument("--input", help="edge-list file (KONECT-style, 'left right' per line)")
     source.add_argument("--dataset", help="name of a built-in dataset stand-in")
     solve.add_argument(
+        "--backend",
         "--method",
-        default=METHOD_AUTO,
-        choices=["auto", "dense", "sparse", "basic"],
-        help="solver to use (default: auto)",
+        dest="backend",
+        default="auto",
+        choices=available_backends(),
+        help="registered solver backend (default: auto; see 'repro-mbb backends')",
     )
     solve.add_argument(
         "--kernel",
@@ -53,8 +70,45 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[KERNEL_BITS, KERNEL_SETS],
         help="branch-and-bound inner loop: indexed bitsets (default) or adjacency sets",
     )
+    solve.add_argument(
+        "--node-budget", type=int, default=None, help="search nodes before giving up"
+    )
     solve.add_argument("--time-budget", type=float, default=None, help="seconds before giving up")
+    solve.add_argument(
+        "--seed", type=int, default=0, help="seed for randomised backends (default: 0)"
+    )
+    solve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the SolveReport as JSON instead of human-readable text",
+    )
     solve.add_argument("--show-vertices", action="store_true", help="print the biclique's vertices")
+
+    batch = subparsers.add_parser(
+        "batch", help="run a JSON file of solve requests through the engine"
+    )
+    batch.add_argument(
+        "requests",
+        help="JSON file holding an array of solve requests ('-' reads stdin)",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None, help="process-pool size (default: CPU count)"
+    )
+    batch.add_argument(
+        "--serial",
+        action="store_true",
+        help="run the batch serially in-process instead of a process pool",
+    )
+    batch.add_argument(
+        "--output", default=None, help="write the JSON reports to a file instead of stdout"
+    )
+
+    backends = subparsers.add_parser(
+        "backends", help="list the registered solver backends"
+    )
+    backends.add_argument(
+        "--json", action="store_true", help="emit the backend list as JSON"
+    )
 
     generate = subparsers.add_parser("generate", help="generate a synthetic bipartite graph")
     generate.add_argument("output", help="edge-list file to write")
@@ -76,28 +130,101 @@ def _build_parser() -> argparse.ArgumentParser:
         "and set branch-and-bound kernels)",
     )
     bench.add_argument("--time-budget", type=float, default=5.0, help="per-run budget in seconds")
+    bench.add_argument(
+        "--write-json",
+        default=None,
+        metavar="PATH",
+        help="also archive the raw rows as JSON (kernels artefact only, "
+        "e.g. BENCH_kernels.json)",
+    )
     return parser
 
 
 def _command_solve(args: argparse.Namespace) -> int:
     if args.dataset:
-        graph = load_dataset(args.dataset)
+        spec = GraphSpec.dataset(args.dataset)
         label = f"dataset stand-in {args.dataset!r}"
     else:
-        graph = read_edge_list(args.input)
+        spec = GraphSpec.from_path(args.input)
         label = args.input
-    print(f"loaded {label}: |L|={graph.num_left} |R|={graph.num_right} |E|={graph.num_edges}")
-    result = solve_mbb(
-        graph, method=args.method, kernel=args.kernel, time_budget=args.time_budget
+    request = SolveRequest(
+        graph=spec,
+        backend=args.backend,
+        kernel=args.kernel,
+        node_budget=args.node_budget,
+        time_budget=args.time_budget,
+        seed=args.seed,
     )
-    status = "optimal" if result.optimal else "best effort (budget exhausted)"
-    print(f"maximum balanced biclique side size: {result.side_size} ({status})")
-    if result.terminated_at:
-        print(f"terminated at step {result.terminated_at}")
-    print(f"search nodes: {result.stats.nodes}, elapsed: {result.elapsed_seconds:.3f}s")
+    engine = MBBEngine()
+    if args.json:
+        print(engine.solve(request).to_json())
+        return 0
+    # Materialise once: print the load confirmation before the (possibly
+    # long) solve starts, then hand the same graph to the engine.
+    graph = spec.materialise()
+    print(f"loaded {label}: |L|={graph.num_left} |R|={graph.num_right} |E|={graph.num_edges}")
+    report = engine.solve(request, graph=graph)
+    print(f"backend: {report.backend} (kernel: {report.kernel})")
+    status = "optimal" if report.optimal else "best effort (budget exhausted)"
+    print(f"maximum balanced biclique side size: {report.side_size} ({status})")
+    if report.terminated_at:
+        print(f"terminated at step {report.terminated_at}")
+    print(
+        f"search nodes: {report.stats.get('nodes', 0)}, "
+        f"elapsed: {report.elapsed_seconds:.3f}s"
+    )
     if args.show_vertices:
-        print(f"left : {sorted(result.biclique.left, key=repr)}")
-        print(f"right: {sorted(result.biclique.right, key=repr)}")
+        print(f"left : {list(report.left)}")
+        print(f"right: {list(report.right)}")
+    return 0
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    try:
+        if args.requests == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(args.requests, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read requests file: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: requests file is not valid JSON: {error}", file=sys.stderr)
+        return 2
+    if isinstance(payload, dict) and "requests" in payload:
+        payload = payload["requests"]
+    if not isinstance(payload, list):
+        print("error: requests file must hold a JSON array of solve requests", file=sys.stderr)
+        return 2
+    requests = [SolveRequest.from_dict(entry) for entry in payload]
+    engine = MBBEngine(max_workers=args.workers)
+    reports = engine.solve_many(requests, parallel=not args.serial)
+    document = json.dumps([report.to_dict() for report in reports], indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        print(f"wrote {len(reports)} reports to {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def _command_backends(args: argparse.Namespace) -> int:
+    infos = backend_infos()
+    if args.json:
+        print(json.dumps([info.to_dict() for info in infos], indent=2))
+        return 0
+    header = f"{'name':<18}{'exact':<7}{'kernels':<12}{'budgets':<9}{'seed':<6}description"
+    print(header)
+    print("-" * len(header))
+    for info in infos:
+        kernels = ",".join(info.kernels) if info.kernels else "-"
+        print(
+            f"{info.name:<18}{'yes' if info.exact else 'no':<7}{kernels:<12}"
+            f"{'yes' if info.supports_budgets else 'no':<9}"
+            f"{'yes' if info.supports_seed else 'no':<6}{info.description}"
+        )
     return 0
 
 
@@ -137,8 +264,15 @@ def _command_bench(args: argparse.Namespace) -> int:
     from repro.bench import figure4, figure5, figure6, kernels, table4, table5, table6
 
     budget = args.time_budget
+    if args.write_json and args.artefact != "kernels":
+        print("error: --write-json is only supported for the kernels artefact", file=sys.stderr)
+        return 2
     if args.artefact == "kernels":
-        print(kernels.format_kernel_comparison(kernels.run_kernel_comparison(time_budget=budget)))
+        rows = kernels.run_kernel_comparison(time_budget=budget)
+        print(kernels.format_kernel_comparison(rows))
+        if args.write_json:
+            kernels.write_benchmark_json(rows, args.write_json)
+            print(f"\narchived rows to {args.write_json}")
     elif args.artefact == "table4":
         print(table4.format_table4(table4.run_table4(time_budget=budget, instances=1)))
     elif args.artefact == "table5":
@@ -156,6 +290,8 @@ def _command_bench(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "solve": _command_solve,
+    "batch": _command_batch,
+    "backends": _command_backends,
     "generate": _command_generate,
     "datasets": _command_datasets,
     "bench": _command_bench,

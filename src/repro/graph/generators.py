@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph

@@ -4,6 +4,11 @@ Public entry points:
 
 * :func:`~repro.mbb.solver.solve_mbb` / :func:`~repro.mbb.solver.maximum_balanced_biclique`
   — the one-call API that auto-selects between the two algorithms below.
+  Both are thin wrappers over the service layer in :mod:`repro.api`
+  (backend registry, :class:`~repro.api.SolveRequest` /
+  :class:`~repro.api.SolveReport` JSON wire format, and the
+  batch-parallel :class:`~repro.api.MBBEngine`); use the engine directly
+  for structured requests, JSON reports or process-pool batches.
 * :func:`~repro.mbb.dense.dense_mbb` — Algorithm 3 (``denseMBB``) for dense
   bipartite graphs.
 * :func:`~repro.mbb.sparse.hbv_mbb` — Algorithm 4 (``hbvMBB``/``sparseMBB``)
@@ -11,6 +16,9 @@ Public entry points:
   exposing every ablation switch of the paper's Table 3.
 * :func:`~repro.mbb.basic_bb.basic_bb` — Algorithm 1, the unoptimised
   enumeration kept as a reference.
+* :func:`~repro.mbb.size_constrained.size_constrained_mbb` — MBB through
+  rising ``(k, k)`` size-constrained decisions on the bitset kernel (the
+  registry's ``size-constrained`` backend).
 
 Kernel selection: both exact solvers default to the indexed bitset kernel
 (:data:`~repro.mbb.dense.KERNEL_BITS`), which runs the branch and bound on
@@ -53,6 +61,7 @@ from repro.mbb.size_constrained import (
     find_biclique_of_size,
     has_biclique_of_size,
     maximal_biclique_profile,
+    size_constrained_mbb,
 )
 from repro.mbb.solver import (
     METHOD_AUTO,
@@ -111,4 +120,5 @@ __all__ = [
     "find_biclique_of_size",
     "has_biclique_of_size",
     "maximal_biclique_profile",
+    "size_constrained_mbb",
 ]

@@ -20,7 +20,7 @@ from repro._util import ensure_recursion_limit, recursion_headroom_for
 from repro.graph.bipartite import BipartiteGraph, Vertex
 from repro.mbb.bounds import is_bounded, offer_completions
 from repro.mbb.context import SearchAborted, SearchContext
-from repro.mbb.result import Biclique, MBBResult
+from repro.mbb.result import MBBResult
 
 
 def _pick_candidate(graph: BipartiteGraph, ca: Set[Vertex], cb: Set[Vertex], a: Set[Vertex], b: Set[Vertex]):

@@ -14,7 +14,7 @@ on opposite sides need not be adjacent to each other).
 
 from __future__ import annotations
 
-from typing import Iterable, Set, Tuple
+from typing import Iterable, Set
 
 from repro.graph.bipartite import Vertex
 from repro.graph.bitset import IndexedBitGraph

@@ -19,7 +19,7 @@ The subgraphs that survive are handed to ``verifyMBB`` (Algorithm 8).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.graph.bipartite import BipartiteGraph
 from repro.cores.core import core_numbers, degeneracy

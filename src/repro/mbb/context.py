@@ -10,14 +10,18 @@ context owns:
 * search statistics (node counts, depths) for the breakdown experiments;
 * optional node and wall-clock budgets, so benchmark runs of exponential
   baselines terminate gracefully instead of hanging the harness (this
-  plays the role of the paper's 4-hour timeout).
+  plays the role of the paper's 4-hour timeout);
+* a cooperative cancellation/deadline hook, so external drivers — most
+  importantly :class:`repro.api.engine.MBBEngine`, which enforces
+  per-request budgets across batch solves — can stop a running search
+  through one mechanism instead of per-solver plumbing.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.graph.bipartite import BipartiteGraph, Vertex
 from repro.mbb.result import Biclique, SearchStats
@@ -39,8 +43,18 @@ class SearchContext:
     stats: SearchStats = field(default_factory=SearchStats)
     node_budget: Optional[int] = None
     time_budget: Optional[float] = None
+    #: Absolute deadline on the :func:`time.perf_counter` clock.  Unlike
+    #: ``time_budget`` (which is relative to the context's creation) a
+    #: deadline survives being handed from one solver stage to the next,
+    #: which is how the engine enforces one per-request budget end to end.
+    deadline: Optional[float] = None
+    #: Optional cooperative cancellation hook, polled at every search node.
+    #: Returning ``True`` aborts the search exactly like an exhausted
+    #: budget; the incumbent found so far is still reported.
+    cancel_hook: Optional[Callable[[], bool]] = None
     _start_time: float = field(default_factory=time.perf_counter)
     aborted: bool = False
+    cancelled: bool = False
 
     @property
     def best_side(self) -> int:
@@ -81,15 +95,31 @@ class SearchContext:
             return True
         return False
 
+    def cancel(self) -> None:
+        """Request cooperative cancellation of the running search.
+
+        The next :meth:`enter_node` call raises :class:`SearchAborted`,
+        which solvers translate into an ``optimal=False`` result carrying
+        the incumbent found so far.
+        """
+        self.cancelled = True
+
     def enter_node(self, depth: int) -> None:
         """Record entry into a branch-and-bound node and enforce budgets."""
         self.stats.record_node(depth)
+        if self.cancelled or (self.cancel_hook is not None and self.cancel_hook()):
+            self.cancelled = True
+            self.aborted = True
+            raise SearchAborted("search cancelled")
         if self.node_budget is not None and self.stats.nodes > self.node_budget:
             self.aborted = True
             raise SearchAborted(f"node budget {self.node_budget} exhausted")
         if self.time_budget is not None and self.elapsed > self.time_budget:
             self.aborted = True
             raise SearchAborted(f"time budget {self.time_budget}s exhausted")
+        if self.deadline is not None and time.perf_counter() > self.deadline:
+            self.aborted = True
+            raise SearchAborted("deadline exceeded")
 
     def record_leaf(self, depth: int) -> None:
         """Record that the node at ``depth`` was a leaf of the search tree."""

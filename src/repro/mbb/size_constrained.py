@@ -11,22 +11,43 @@ pairs.  This module exposes both as a small public API:
 * :func:`maximal_biclique_profile` computes the full Pareto frontier of
   maximal ``(a, b)`` pairs (the object Observation 2 enumerates in closed
   form for complement paths and cycles), which is useful in its own right
-  for co-clustering applications that trade rows for columns.
+  for co-clustering applications that trade rows for columns;
+* :func:`size_constrained_mbb` solves the MBB problem through a sequence
+  of ``(k, k)`` decisions — the ``size-constrained`` backend of the
+  :mod:`repro.api` registry.
 
 Both are exponential in the worst case (the problems are NP-hard for
 general ``a = b``) and intended for moderate graphs or pruned subgraphs;
 they accept the same node/time budgets as every other solver.
+
+Kernels
+-------
+With the default :data:`~repro.mbb.dense.KERNEL_BITS` an ``(a, b)``
+instance is decided by the bitset ``denseMBB`` kernel
+(:func:`~repro.mbb.dense.dense_mbb_on_bitgraph`) through a padding
+reduction: assuming ``a >= b``, add ``a - b`` universal right vertices
+(adjacent to every left vertex); the padded graph has a balanced biclique
+of side ``a`` iff the original graph has an ``(a, b)`` biclique, because
+any ``a`` right vertices of the padded graph include at least ``b`` real
+ones.  The decision search seeds the incumbent bound at ``a - 1`` so the
+kernel prunes everything that cannot reach the target, and a cooperative
+cancellation hook (:attr:`~repro.mbb.context.SearchContext.cancel_hook`)
+stops it at the first witness.  ``kernel="sets"`` keeps the original
+dedicated adjacency-set search for ablations.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro._util import ensure_recursion_limit, recursion_headroom_for
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.bitset import IndexedBitGraph
 from repro.mbb.context import SearchAborted, SearchContext
-from repro.mbb.result import Biclique
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS, dense_mbb_on_bitgraph
+from repro.mbb.result import Biclique, MBBResult, SearchStats
 
 
 def _search(
@@ -110,11 +131,183 @@ def _search(
     return None
 
 
+# Tag making padding vertex labels collision-proof against user labels
+# while keeping a deterministic ``repr`` (the bitset indexing and the
+# balancing trim both order vertices by ``repr``).
+_PAD_TAG = "repro.size_constrained.pad"
+
+
+def _padded_graph(
+    graph: BipartiteGraph, a: int, b: int
+) -> Tuple[BipartiteGraph, Set[Vertex]]:
+    """Copy ``graph`` and add ``|a - b|`` universal vertices on the short side.
+
+    Assuming WLOG ``a >= b``: every set of ``a`` right vertices of the
+    padded graph contains at least ``a - (a - b) = b`` real ones, so the
+    padded graph has a balanced biclique of side ``a`` iff the original
+    graph has an ``(a, b)`` biclique.
+    """
+    padded = BipartiteGraph(
+        left=graph.left_vertices(), right=graph.right_vertices(), edges=graph.edges()
+    )
+    pad_labels: Set[Vertex] = {(_PAD_TAG, i) for i in range(abs(a - b))}
+    if a >= b:
+        for pad in sorted(pad_labels, key=repr):
+            padded.add_right_vertex(pad)
+            for u in graph.left_vertices():
+                padded.add_edge(u, pad)
+    else:
+        for pad in sorted(pad_labels, key=repr):
+            padded.add_left_vertex(pad)
+            for v in graph.right_vertices():
+                padded.add_edge(pad, v)
+    return padded, pad_labels
+
+
+def _seed_bound(context: SearchContext, side: int) -> None:
+    """Seed the incumbent bound at ``side`` with sentinel vertices.
+
+    The sentinels never touch the graph; they only make ``best_side``
+    equal ``side`` so the kernel's bound prunes everything that cannot
+    beat it.  Callers must treat a final ``best_side <= side`` as "no
+    witness found".
+    """
+    if side > 0:
+        context.best = Biclique.of(
+            [(_PAD_TAG, "seed-left", i) for i in range(side)],
+            [(_PAD_TAG, "seed-right", i) for i in range(side)],
+        )
+
+
+def _parent_cancelled(parent: Optional[SearchContext]):
+    """Predicate polling a parent context's cooperative-cancellation state."""
+    if parent is None:
+        return None
+
+    def cancelled() -> bool:
+        return parent.cancelled or (
+            parent.cancel_hook is not None and parent.cancel_hook()
+        )
+
+    return cancelled
+
+
+def _inherit_cancellation(
+    child: SearchContext, parent: Optional[SearchContext]
+) -> None:
+    """Forward a parent's deadline and cancellation into a child context."""
+    if parent is None:
+        return
+    child.deadline = parent.deadline
+    hook = _parent_cancelled(parent)
+    own = child.cancel_hook
+    if own is None:
+        child.cancel_hook = hook
+    else:
+        child.cancel_hook = lambda: own() or hook()
+
+
+def _decide_sets(
+    graph: BipartiteGraph,
+    a: int,
+    b: int,
+    *,
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    parent: Optional[SearchContext] = None,
+) -> Tuple[Optional[Biclique], bool, SearchStats]:
+    """Decide one ``(a, b)`` instance with the dedicated adjacency-set search."""
+    ensure_recursion_limit(recursion_headroom_for(graph.num_vertices))
+    context = SearchContext(node_budget=node_budget, time_budget=time_budget)
+    _inherit_cancellation(context, parent)
+    try:
+        witness = _search(
+            graph, context, a, b, set(), set(), graph.left, graph.right, 0
+        )
+    except SearchAborted:
+        witness = None
+    return witness, context.aborted, context.stats
+
+
+def _decide_bits(
+    graph: BipartiteGraph,
+    a: int,
+    b: int,
+    *,
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    parent: Optional[SearchContext] = None,
+) -> Optional[Tuple[Optional[Biclique], bool, SearchStats]]:
+    """Decide one ``(a, b)`` instance on the bitset ``denseMBB`` kernel.
+
+    Returns ``None`` when the graph's labels resist bitset indexing, in
+    which case the caller falls back to the adjacency-set search.
+    """
+    target = max(a, b)
+    padded, pad_labels = _padded_graph(graph, a, b)
+    try:
+        bitgraph = IndexedBitGraph.from_bipartite(padded)
+    except (TypeError, OverflowError):
+        return None
+    ensure_recursion_limit(recursion_headroom_for(padded.num_vertices))
+    context = SearchContext(node_budget=node_budget, time_budget=time_budget)
+    _seed_bound(context, target - 1)
+    # Stop at the first witness: the hook is polled at every node entry.
+    context.cancel_hook = lambda: context.best_side >= target
+    _inherit_cancellation(context, parent)
+    dense_mbb_on_bitgraph(
+        bitgraph,
+        context,
+        0,
+        0,
+        bitgraph.all_left_mask,
+        bitgraph.all_right_mask,
+    )
+    if context.best_side < target:
+        # ``aborted`` distinguishes an exhausted budget from a proven "no".
+        # A cancellation can only have been triggered by reaching the
+        # target, so any abort seen here came from a budget.
+        return None, context.aborted, context.stats
+    best = context.best
+    if a >= b:
+        witness = Biclique.of(best.left, set(best.right) - pad_labels)
+    else:
+        witness = Biclique.of(set(best.left) - pad_labels, best.right)
+    return witness, False, context.stats
+
+
+def _decide(
+    graph: BipartiteGraph,
+    a: int,
+    b: int,
+    *,
+    kernel: str = KERNEL_BITS,
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    parent: Optional[SearchContext] = None,
+) -> Tuple[Optional[Biclique], bool, SearchStats]:
+    """Dispatch one nontrivial ``(a, b)`` decision to the requested kernel."""
+    if kernel not in (KERNEL_BITS, KERNEL_SETS):
+        raise InvalidParameterError(
+            f"unknown kernel {kernel!r}; expected one of {(KERNEL_BITS, KERNEL_SETS)}"
+        )
+    if kernel == KERNEL_BITS:
+        outcome = _decide_bits(
+            graph, a, b, node_budget=node_budget, time_budget=time_budget, parent=parent
+        )
+        if outcome is not None:
+            return outcome
+    return _decide_sets(
+        graph, a, b, node_budget=node_budget, time_budget=time_budget, parent=parent
+    )
+
+
 def find_biclique_of_size(
     graph: BipartiteGraph,
     a: int,
     b: int,
     *,
+    kernel: str = KERNEL_BITS,
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
 ) -> Optional[Biclique]:
@@ -124,6 +317,11 @@ def find_biclique_of_size(
     instance is satisfied by the empty biclique.  When a budget is exhausted
     before a witness is found the function returns ``None`` (the caller can
     inspect the budget through its own :class:`SearchContext` if needed).
+
+    ``kernel`` selects :data:`~repro.mbb.dense.KERNEL_BITS` (default, the
+    padding reduction onto the bitset ``denseMBB`` kernel) or
+    :data:`~repro.mbb.dense.KERNEL_SETS` (the dedicated adjacency-set
+    search, kept for ablation).
     """
     if a < 0 or b < 0:
         raise InvalidParameterError(f"size targets must be non-negative, got ({a}, {b})")
@@ -131,14 +329,14 @@ def find_biclique_of_size(
         return Biclique.empty()
     if a > graph.num_left or b > graph.num_right:
         return None
-    ensure_recursion_limit(recursion_headroom_for(graph.num_vertices))
-    context = SearchContext(node_budget=node_budget, time_budget=time_budget)
-    try:
-        return _search(
-            graph, context, a, b, set(), set(), graph.left, graph.right, 0
-        )
-    except SearchAborted:
-        return None
+    if a == 0:
+        return Biclique.of((), sorted(graph.right, key=repr)[:b])
+    if b == 0:
+        return Biclique.of(sorted(graph.left, key=repr)[:a], ())
+    witness, _, _ = _decide(
+        graph, a, b, kernel=kernel, node_budget=node_budget, time_budget=time_budget
+    )
+    return witness
 
 
 def has_biclique_of_size(graph: BipartiteGraph, a: int, b: int, **kwargs) -> bool:
@@ -146,10 +344,80 @@ def has_biclique_of_size(graph: BipartiteGraph, a: int, b: int, **kwargs) -> boo
     return find_biclique_of_size(graph, a, b, **kwargs) is not None
 
 
+def size_constrained_mbb(
+    graph: BipartiteGraph,
+    *,
+    kernel: str = KERNEL_BITS,
+    context: Optional[SearchContext] = None,
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+) -> MBBResult:
+    """Solve the MBB problem through a rising sequence of ``(k, k)`` decisions.
+
+    This is the ``size-constrained`` backend of the :mod:`repro.api`
+    registry: starting from the incumbent (if ``context`` carries one) it
+    asks :func:`find_biclique_of_size` for a ``(k, k)`` biclique with
+    ``k`` increasing until a decision comes back negative, which proves
+    optimality.  Exact but slower than ``denseMBB`` — each decision
+    re-explores the graph — and registered mainly for ablation and as an
+    independent cross-check of the dense kernel.
+    """
+    if context is None:
+        context = SearchContext(node_budget=node_budget, time_budget=time_budget)
+    max_side = min(graph.num_left, graph.num_right)
+    cancelled = _parent_cancelled(context)
+    optimal = True
+    k = context.best_side + 1
+    while k <= max_side:
+        if cancelled():
+            context.cancelled = True
+            context.aborted = True
+            optimal = False
+            break
+        if context.deadline is not None and time.perf_counter() > context.deadline:
+            context.aborted = True
+            optimal = False
+            break
+        remaining_nodes = None
+        if context.node_budget is not None:
+            remaining_nodes = context.node_budget - context.stats.nodes
+            if remaining_nodes <= 0:
+                optimal = False
+                break
+        remaining_time = None
+        if context.time_budget is not None:
+            remaining_time = context.time_budget - context.elapsed
+            if remaining_time <= 0:
+                optimal = False
+                break
+        witness, aborted, stats = _decide(
+            graph,
+            k,
+            k,
+            kernel=kernel,
+            node_budget=remaining_nodes,
+            time_budget=remaining_time,
+            parent=context,
+        )
+        context.stats.merge(stats)
+        if witness is None:
+            optimal = not aborted
+            break
+        context.offer_biclique(witness)
+        k = context.best_side + 1
+    return MBBResult(
+        biclique=context.best,
+        optimal=optimal,
+        stats=context.stats,
+        elapsed_seconds=context.elapsed,
+    )
+
+
 def maximal_biclique_profile(
     graph: BipartiteGraph,
     *,
     max_side: Optional[int] = None,
+    kernel: str = KERNEL_BITS,
     node_budget: Optional[int] = None,
     time_budget: Optional[float] = None,
 ) -> List[Tuple[int, int]]:
@@ -177,7 +445,12 @@ def maximal_biclique_profile(
         best_b = -1
         for b in range(previous_best, -1, -1):
             witness = find_biclique_of_size(
-                graph, a, b, node_budget=node_budget, time_budget=time_budget
+                graph,
+                a,
+                b,
+                kernel=kernel,
+                node_budget=node_budget,
+                time_budget=time_budget,
             )
             if witness is not None:
                 best_b = b

@@ -1,9 +1,15 @@
-"""Unified public solver API.
+"""Unified public solver API (a thin wrapper over the engine).
 
 Most users should simply call :func:`solve_mbb` (or the even smaller
 :func:`maximum_balanced_biclique`), which inspects the input graph and
 dispatches to the dense-graph algorithm or to the sparse framework, the two
-exact algorithms contributed by the paper.
+exact algorithms contributed by the paper.  Both are thin wrappers over
+:class:`repro.api.engine.MBBEngine`: ``method`` is a backend name from the
+:mod:`repro.api` registry (``auto``, ``dense``, ``sparse``, ``basic``,
+``size-constrained``, the baselines, ...), so anything registered through
+:func:`repro.api.register_backend` is reachable from here too.  For
+structured requests, JSON reports and batch-parallel solves use the engine
+directly.
 
 Both exact solvers run on the indexed bitset kernel by default (see
 :mod:`repro.mbb.dense`); pass ``kernel="sets"`` to force the original
@@ -12,22 +18,20 @@ adjacency-set implementation for ablations and comparisons.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional
 
 from repro._util import ensure_recursion_limit, recursion_headroom_for
-from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph
-from repro.mbb.basic_bb import basic_bb
-from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS, dense_mbb
+from repro.mbb.dense import KERNEL_BITS
 from repro.mbb.result import Biclique, MBBResult
-from repro.mbb.sparse import SparseConfig, hbv_mbb
+from repro.mbb.sparse import SparseConfig
 
 METHOD_AUTO = "auto"
 METHOD_DENSE = "dense"
 METHOD_SPARSE = "sparse"
 METHOD_BASIC = "basic"
 
+#: The historical core methods (the registry knows many more backends).
 _METHODS = (METHOD_AUTO, METHOD_DENSE, METHOD_SPARSE, METHOD_BASIC)
 
 #: Density threshold above which the dense solver is chosen automatically.
@@ -70,7 +74,9 @@ def solve_mbb(
         ``"auto"`` (default) picks between the two exact algorithms based
         on density and size; ``"dense"``, ``"sparse"`` and ``"basic"``
         force a specific solver (``basic`` is the unoptimised Algorithm 1,
-        exposed mainly for education and testing).
+        exposed mainly for education and testing).  Any other registered
+        backend name (see :func:`repro.api.available_backends`) is
+        accepted too.
     kernel:
         :data:`~repro.mbb.dense.KERNEL_BITS` (default) or
         :data:`~repro.mbb.dense.KERNEL_SETS`; selects the branch-and-bound
@@ -90,34 +96,20 @@ def solve_mbb(
     MBBResult
         The balanced biclique together with statistics and optimality flag.
     """
-    if method not in _METHODS:
-        raise InvalidParameterError(
-            f"unknown method {method!r}; expected one of {_METHODS}"
-        )
-    if kernel not in (KERNEL_BITS, KERNEL_SETS):
-        raise InvalidParameterError(
-            f"unknown kernel {kernel!r}; expected one of {(KERNEL_BITS, KERNEL_SETS)}"
-        )
+    from repro.api.engine import MBBEngine
+
     ensure_recursion_limit(recursion_headroom_for(graph.num_vertices))
-    if method == METHOD_AUTO:
-        method = choose_method(graph)
-
-    if method == METHOD_BASIC:
-        return basic_bb(graph, node_budget=node_budget, time_budget=time_budget)
-    if method == METHOD_DENSE:
-        return dense_mbb(
-            graph, kernel=kernel, node_budget=node_budget, time_budget=time_budget
-        )
-
-    config = sparse_config if sparse_config is not None else SparseConfig(kernel=kernel)
-    overrides = {}
-    if node_budget is not None:
-        overrides["node_budget"] = node_budget
-    if time_budget is not None:
-        overrides["time_budget"] = time_budget
-    if overrides:
-        config = replace(config, **overrides)
-    return hbv_mbb(graph, config=config)
+    options = {}
+    if sparse_config is not None and method in (METHOD_AUTO, METHOD_SPARSE):
+        options["sparse_config"] = sparse_config
+    return MBBEngine().solve_graph(
+        graph,
+        backend=method,
+        kernel=kernel,
+        node_budget=node_budget,
+        time_budget=time_budget,
+        **options,
+    )
 
 
 def maximum_balanced_biclique(graph: BipartiteGraph, **kwargs) -> Biclique:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.generators import (
     complete_bipartite,

@@ -1,0 +1,204 @@
+"""Engine tests: dispatch, budgets, cancellation, batch determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import solve_mbb
+from repro.api import GraphSpec, MBBEngine, SolveRequest
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import random_bipartite
+from repro.mbb.context import SearchAborted, SearchContext
+from repro.mbb.dense import dense_mbb
+
+
+class TestSolveGraph:
+    @pytest.mark.parametrize("backend", ["auto", "dense", "sparse", "basic"])
+    def test_matches_solve_mbb(self, backend):
+        engine = MBBEngine()
+        for seed in range(4):
+            graph = random_bipartite(8, 8, 0.5, seed=seed)
+            via_engine = engine.solve_graph(graph, backend=backend)
+            via_wrapper = solve_mbb(graph, method=backend)
+            assert via_engine.side_size == via_wrapper.side_size
+
+    def test_engine_and_wrapper_return_identical_bicliques(self):
+        # Acceptance criterion: solve_mbb(g) and MBBEngine().solve(request)
+        # agree on the cross-kernel property-test instances.
+        engine = MBBEngine()
+        for seed in range(8):
+            graph = random_bipartite(9, 9, 0.55, seed=seed)
+            report = engine.solve(
+                SolveRequest(graph=GraphSpec.random(9, 9, 0.55, seed=seed))
+            )
+            wrapped = solve_mbb(graph)
+            assert report.biclique == wrapped.biclique
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(InvalidParameterError):
+            MBBEngine().solve_graph(random_bipartite(4, 4, 0.5, seed=1), backend="nope")
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(InvalidParameterError):
+            MBBEngine().solve_graph(
+                random_bipartite(4, 4, 0.5, seed=1), kernel="quantum"
+            )
+
+    def test_budget_rejected_for_budgetless_backend(self):
+        graph = random_bipartite(4, 4, 0.5, seed=1)
+        with pytest.raises(InvalidParameterError):
+            MBBEngine().solve_graph(graph, backend="brute_force", node_budget=10)
+        with pytest.raises(InvalidParameterError):
+            MBBEngine().solve_graph(graph, backend="mvb", time_budget=1.0)
+
+    def test_negative_budget_rejected(self):
+        graph = random_bipartite(4, 4, 0.5, seed=1)
+        with pytest.raises(InvalidParameterError):
+            MBBEngine().solve_graph(graph, node_budget=-1)
+
+    def test_node_budget_is_enforced(self):
+        graph = random_bipartite(20, 20, 0.5, seed=2)
+        result = MBBEngine().solve_graph(graph, backend="basic", node_budget=3)
+        assert not result.optimal
+        assert result.stats.nodes <= 4
+
+    def test_invalid_max_workers_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MBBEngine(max_workers=0)
+
+
+class TestCooperativeCancellation:
+    def test_cancel_hook_aborts_search(self):
+        graph = random_bipartite(18, 18, 0.6, seed=3)
+        context = SearchContext()
+        context.cancel_hook = lambda: context.stats.nodes >= 5
+        result = dense_mbb(graph, context=context)
+        assert not result.optimal
+        assert context.cancelled and context.aborted
+        assert context.stats.nodes <= 6
+
+    def test_cancel_method_aborts_next_node(self):
+        context = SearchContext()
+        context.cancel()
+        with pytest.raises(SearchAborted):
+            context.enter_node(0)
+
+    def test_cancel_propagates_into_size_constrained_backend(self):
+        from repro.api import get_backend
+
+        graph = random_bipartite(14, 14, 0.6, seed=6)
+        context = SearchContext()
+        context.cancel()
+        result = get_backend("size-constrained").run(
+            graph, context, kernel="bits", seed=0
+        )
+        assert not result.optimal
+        assert context.stats.nodes == 0
+
+    def test_deadline_propagates_into_size_constrained_backend(self):
+        import time
+
+        from repro.api import get_backend
+
+        graph = random_bipartite(14, 14, 0.6, seed=7)
+        context = SearchContext()
+        context.deadline = time.perf_counter() - 1.0  # already expired
+        result = get_backend("size-constrained").run(
+            graph, context, kernel="bits", seed=0
+        )
+        assert not result.optimal
+
+    def test_cancelled_search_keeps_incumbent(self):
+        graph = random_bipartite(16, 16, 0.7, seed=4)
+        baseline = solve_mbb(graph)
+        context = SearchContext()
+        context.cancel_hook = lambda: context.best_side >= 2
+        result = dense_mbb(graph, context=context)
+        assert result.side_size >= 2
+        assert result.side_size <= baseline.side_size
+        assert result.biclique.is_valid_in(graph)
+
+
+class TestSolveMany:
+    def _requests(self, count=8):
+        return [
+            SolveRequest(
+                graph=GraphSpec.random(9, 9, 0.5, seed=seed),
+                backend="dense",
+                tag=f"req-{seed}",
+            )
+            for seed in range(count)
+        ]
+
+    def test_results_in_request_order(self):
+        reports = MBBEngine().solve_many(self._requests())
+        assert [report.request.tag for report in reports] == [
+            f"req-{seed}" for seed in range(8)
+        ]
+
+    def test_pool_matches_serial(self):
+        # Acceptance criterion: >= 8 requests through the process pool,
+        # deterministic and identical to the serial execution.
+        requests = self._requests(8)
+        engine = MBBEngine(max_workers=4)
+        parallel = engine.solve_many(requests)
+        serial = engine.solve_many(requests, parallel=False)
+        assert len(parallel) == len(serial) == 8
+        for left, right in zip(parallel, serial):
+            assert left.request == right.request
+            assert left.side_size == right.side_size
+            assert left.left == right.left
+            assert left.right == right.right
+            assert left.optimal == right.optimal
+            assert left.backend == right.backend
+
+    def test_empty_batch(self):
+        assert MBBEngine().solve_many([]) == []
+
+    def test_mixed_backends_in_one_batch(self):
+        requests = [
+            SolveRequest(graph=GraphSpec.random(8, 8, 0.5, seed=1), backend="dense"),
+            SolveRequest(graph=GraphSpec.random(8, 8, 0.5, seed=1), backend="basic"),
+            SolveRequest(graph=GraphSpec.random(8, 8, 0.5, seed=1), backend="sparse"),
+            SolveRequest(
+                graph=GraphSpec.random(8, 8, 0.5, seed=1), backend="size-constrained"
+            ),
+        ]
+        reports = MBBEngine().solve_many(requests)
+        sides = {report.side_size for report in reports}
+        assert len(sides) == 1
+        assert [report.backend for report in reports] == [
+            "dense",
+            "basic",
+            "sparse",
+            "size-constrained",
+        ]
+
+    def test_worker_error_propagates_instead_of_serial_rerun(self):
+        # An invalid request must surface its error, not silently trigger
+        # a full serial re-run of the batch.
+        requests = [
+            SolveRequest(graph=GraphSpec.random(6, 6, 0.5, seed=s), backend="dense")
+            for s in range(2)
+        ] + [
+            SolveRequest(
+                graph=GraphSpec.random(6, 6, 0.5, seed=9),
+                backend="brute_force",
+                node_budget=5,  # brute_force rejects budgets
+            )
+        ]
+        with pytest.raises(InvalidParameterError):
+            MBBEngine().solve_many(requests)
+
+    def test_per_request_budgets_are_enforced(self):
+        requests = [
+            SolveRequest(
+                graph=GraphSpec.random(18, 18, 0.5, seed=5),
+                backend="basic",
+                node_budget=3,
+            ),
+            SolveRequest(graph=GraphSpec.random(6, 6, 0.5, seed=5), backend="basic"),
+        ]
+        reports = MBBEngine().solve_many(requests)
+        assert not reports[0].optimal
+        assert reports[1].optimal

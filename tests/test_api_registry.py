@@ -1,0 +1,119 @@
+"""Backend registry tests: registration semantics and cross-backend parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    BackendInfo,
+    FunctionBackend,
+    available_backends,
+    backend_infos,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.baselines.brute_force import MAX_ORACLE_SIDE
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import random_bipartite
+from repro.mbb.basic_bb import basic_bb
+from repro.mbb.context import SearchContext
+
+#: Every built-in backend expected in the registry.
+BUILTIN_BACKENDS = {
+    "auto",
+    "dense",
+    "sparse",
+    "basic",
+    "size-constrained",
+    "brute_force",
+    "extbbclq",
+    "mbe",
+    "adp1",
+    "adp2",
+    "adp3",
+    "adp4",
+    "mvb",
+    "local_search",
+}
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert BUILTIN_BACKENDS <= set(available_backends())
+
+    def test_names_are_sorted(self):
+        names = available_backends()
+        assert list(names) == sorted(names)
+
+    def test_get_unknown_backend_raises(self):
+        with pytest.raises(InvalidParameterError):
+            get_backend("quantum-annealer")
+
+    def test_infos_cover_every_backend(self):
+        infos = backend_infos()
+        assert {info.name for info in infos} == set(available_backends())
+        for info in infos:
+            assert isinstance(info.description, str)
+            payload = info.to_dict()
+            assert payload["name"] == info.name
+
+    def test_register_and_unregister_custom_backend(self):
+        def run(graph, context, *, kernel, seed):
+            return basic_bb(graph, context=context)
+
+        backend = FunctionBackend(
+            BackendInfo(name="test-custom", description="test"), run
+        )
+        try:
+            register_backend(backend)
+            assert "test-custom" in available_backends()
+            assert get_backend("test-custom") is backend
+            with pytest.raises(InvalidParameterError):
+                register_backend(backend)  # duplicate without replace
+            register_backend(backend, replace=True)  # replace allowed
+        finally:
+            unregister_backend("test-custom")
+        assert "test-custom" not in available_backends()
+
+    def test_empty_name_rejected(self):
+        backend = FunctionBackend(BackendInfo(name=""), lambda *a, **k: None)
+        with pytest.raises(InvalidParameterError):
+            register_backend(backend)
+
+
+class TestExactBackendParity:
+    """Every registered exact backend agrees with basic_bb on random graphs."""
+
+    def _exact_backends(self):
+        return [
+            info.name
+            for info in backend_infos()
+            if info.exact and info.name != "basic"
+        ]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_backends_match_basic_bb(self, seed):
+        graph = random_bipartite(6 + seed % 3, 6 + (seed + 1) % 3, 0.5, seed=seed)
+        assert min(graph.num_left, graph.num_right) <= MAX_ORACLE_SIDE
+        expected = basic_bb(graph).side_size
+        for name in self._exact_backends():
+            backend = get_backend(name)
+            context = SearchContext()
+            result = backend.run(graph, context, kernel="bits", seed=0)
+            assert result.side_size == expected, (name, seed)
+            assert result.optimal, (name, seed)
+            assert result.biclique.is_valid_in(graph), (name, seed)
+            assert result.biclique.is_balanced, (name, seed)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_heuristic_backends_return_valid_bicliques(self, seed):
+        graph = random_bipartite(8, 8, 0.5, seed=100 + seed)
+        upper = basic_bb(graph).side_size
+        for name in ("mvb", "local_search"):
+            result = get_backend(name).run(
+                graph, SearchContext(), kernel="bits", seed=seed
+            )
+            assert not result.optimal
+            assert result.biclique.is_valid_in(graph)
+            assert result.side_size <= upper

@@ -1,0 +1,159 @@
+"""Wire-format tests: GraphSpec / SolveRequest / SolveReport round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.api import GraphSpec, MBBEngine, SolveReport, SolveRequest
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import random_bipartite
+from repro.graph.io import write_edge_list
+
+
+class TestGraphSpec:
+    def test_dataset_spec_materialises(self):
+        graph = GraphSpec.dataset("unicodelang").materialise()
+        assert graph.num_left == 180 and graph.num_right == 420
+
+    def test_path_spec_materialises(self, tmp_path):
+        graph = random_bipartite(8, 8, 0.5, seed=1)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        assert GraphSpec.from_path(str(path)).materialise() == graph
+
+    def test_inline_spec_materialises(self):
+        spec = GraphSpec.inline([(0, "x"), (0, "y"), (1, "x")])
+        graph = spec.materialise()
+        assert graph.num_left == 2 and graph.num_right == 2 and graph.num_edges == 3
+
+    def test_random_spec_is_deterministic(self):
+        spec = GraphSpec.random(10, 12, 0.4, seed=7)
+        assert spec.materialise() == spec.materialise()
+        assert spec.materialise() == random_bipartite(10, 12, 0.4, seed=7)
+
+    def test_power_law_spec_materialises(self):
+        graph = GraphSpec.power_law(30, 30, 2.0, seed=3).materialise()
+        assert graph.num_left == 30 and graph.num_right == 30
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            GraphSpec.dataset("unicodelang"),
+            GraphSpec.from_path("/tmp/some/graph.txt"),
+            GraphSpec.inline([(0, "x"), (1, "y")]),
+            GraphSpec.random(5, 6, 0.5, seed=2),
+            GraphSpec.power_law(7, 8, 1.5, seed=4),
+        ],
+    )
+    def test_dict_round_trip(self, spec):
+        assert GraphSpec.from_dict(spec.to_dict()) == spec
+        # And through an actual JSON encode/decode.
+        assert GraphSpec.from_dict(json.loads(json.dumps(spec.to_dict()))) == spec
+
+    def test_unknown_kind_raises_on_materialise(self):
+        with pytest.raises(InvalidParameterError):
+            GraphSpec(kind="carrier-pigeon").materialise()
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(InvalidParameterError):
+            GraphSpec.from_dict({"kind": "dataset", "name": "x", "nope": 1})
+
+    def test_missing_parameters_raise(self):
+        with pytest.raises(InvalidParameterError):
+            GraphSpec(kind="random", n_left=3).materialise()
+
+
+class TestSolveRequestRoundTrip:
+    @pytest.mark.parametrize(
+        "request_",
+        [
+            SolveRequest(graph=GraphSpec.dataset("unicodelang")),
+            SolveRequest(
+                graph=GraphSpec.random(8, 8, 0.6, seed=1),
+                backend="dense",
+                kernel="sets",
+                node_budget=500,
+                time_budget=2.5,
+                seed=11,
+                tag="cell-3",
+            ),
+            SolveRequest(graph=GraphSpec.inline([(1, 2), (1, 3)]), backend="basic"),
+        ],
+    )
+    def test_json_round_trip_is_lossless(self, request_):
+        assert SolveRequest.from_json(request_.to_json()) == request_
+
+    def test_none_fields_are_omitted_from_json(self):
+        request = SolveRequest(graph=GraphSpec.dataset("unicodelang"))
+        payload = json.loads(request.to_json())
+        assert "node_budget" not in payload and "tag" not in payload
+
+    def test_missing_graph_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SolveRequest.from_dict({"backend": "dense"})
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SolveRequest.from_dict(
+                {"graph": {"kind": "dataset", "name": "x"}, "mystery": True}
+            )
+
+
+class TestSolveReportRoundTrip:
+    def _report(self, **request_kwargs) -> SolveReport:
+        request = SolveRequest(
+            graph=GraphSpec.random(10, 10, 0.6, seed=5), **request_kwargs
+        )
+        return MBBEngine().solve(request)
+
+    def test_json_round_trip_is_lossless(self):
+        report = self._report(backend="dense")
+        assert SolveReport.from_json(report.to_json()) == report
+
+    def test_round_trip_through_generic_json(self):
+        report = self._report(backend="sparse")
+        clone = SolveReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert clone == report
+        assert clone.biclique == report.biclique
+
+    def test_report_carries_provenance(self):
+        report = self._report()
+        assert report.version == __version__
+        assert report.backend in ("dense", "sparse")
+        assert report.kernel == "bits"
+
+    def test_report_reconstructs_result(self):
+        report = self._report(backend="basic")
+        result = report.to_result()
+        assert result.side_size == report.side_size
+        assert result.stats.nodes == report.stats["nodes"]
+        graph = report.request.graph.materialise()
+        assert result.biclique.is_valid_in(graph)
+
+    def test_stats_survive_round_trip(self):
+        report = self._report(backend="dense")
+        clone = SolveReport.from_json(report.to_json())
+        assert clone.stats == report.stats
+        assert clone.to_result().stats == report.to_result().stats
+
+    def test_report_carries_graph_shape(self):
+        report = self._report(backend="dense")
+        assert (report.num_left, report.num_right) == (10, 10)
+        assert report.num_edges > 0
+        assert SolveReport.from_json(report.to_json()).num_edges == report.num_edges
+
+    def test_unknown_report_field_raises(self):
+        report = self._report(backend="basic")
+        payload = report.to_dict()
+        payload["mystery"] = 1
+        with pytest.raises(InvalidParameterError):
+            SolveReport.from_dict(payload)
+
+    def test_missing_request_raises(self):
+        payload = self._report(backend="basic").to_dict()
+        del payload["request"]
+        with pytest.raises(InvalidParameterError):
+            SolveReport.from_dict(payload)

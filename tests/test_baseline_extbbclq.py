@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.graph.bipartite import LEFT, RIGHT
 from repro.graph.generators import (
     complete_bipartite,
     crown_graph,

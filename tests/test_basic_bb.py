@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.graph.bipartite import BipartiteGraph
-from repro.graph.generators import complete_bipartite, grid_union_of_bicliques
+from repro.graph.generators import complete_bipartite
 from repro.mbb.basic_bb import basic_bb
 from repro.mbb.context import SearchContext
 from repro.baselines.brute_force import brute_force_side_size

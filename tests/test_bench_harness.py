@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench.harness import format_cell, format_table, rows_to_csv, timed
 from repro.bench.table4 import format_table4, run_table4
 from repro.bench.table5 import format_table5, run_table5

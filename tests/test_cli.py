@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -35,6 +37,126 @@ class TestSolveCommand:
     def test_method_choices_are_validated(self):
         with pytest.raises(SystemExit):
             main(["solve", "--dataset", "unicodelang", "--method", "quantum"])
+
+    def test_backend_flag_accepts_registry_names(self, tmp_path, capsys):
+        graph = planted_balanced_biclique(10, 10, 3, background_density=0.1, seed=2)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        exit_code = main(
+            ["solve", "--input", str(path), "--backend", "size-constrained"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "backend: size-constrained" in out
+
+    def test_json_output_is_valid_report(self, tmp_path, capsys):
+        graph = planted_balanced_biclique(12, 12, 4, background_density=0.1, seed=3)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        exit_code = main(["solve", "--input", str(path), "--json"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(out)
+        assert payload["side_size"] >= 4
+        assert payload["optimal"] is True
+        assert payload["request"]["graph"]["kind"] == "path"
+        from repro.api import SolveReport
+
+        assert SolveReport.from_json(out).side_size == payload["side_size"]
+
+    def test_node_budget_flag(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--dataset",
+                "moreno-crime",
+                "--backend",
+                "basic",
+                "--node-budget",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "best effort" in out
+
+
+class TestBatchCommand:
+    def _requests_file(self, tmp_path, count=3):
+        requests = [
+            {
+                "graph": {
+                    "kind": "random",
+                    "n_left": 8,
+                    "n_right": 8,
+                    "density": 0.5,
+                    "seed": seed,
+                },
+                "backend": "dense",
+                "tag": f"cell-{seed}",
+            }
+            for seed in range(count)
+        ]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(requests), encoding="utf-8")
+        return path
+
+    def test_batch_prints_reports_in_order(self, tmp_path, capsys):
+        path = self._requests_file(tmp_path)
+        exit_code = main(["batch", str(path), "--serial"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        reports = json.loads(out)
+        assert [report["request"]["tag"] for report in reports] == [
+            "cell-0",
+            "cell-1",
+            "cell-2",
+        ]
+
+    def test_batch_writes_output_file(self, tmp_path, capsys):
+        path = self._requests_file(tmp_path)
+        out_path = tmp_path / "reports.json"
+        exit_code = main(["batch", str(path), "--serial", "--output", str(out_path)])
+        assert exit_code == 0
+        assert "wrote 3 reports" in capsys.readouterr().out
+        reports = json.loads(out_path.read_text(encoding="utf-8"))
+        assert len(reports) == 3
+
+    def test_batch_rejects_non_array_payload(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a batch"}', encoding="utf-8")
+        exit_code = main(["batch", str(path)])
+        assert exit_code == 2
+        assert "array" in capsys.readouterr().err
+
+    def test_batch_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        exit_code = main(["batch", str(tmp_path / "absent.json")])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_malformed_json_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("not json {", encoding="utf-8")
+        exit_code = main(["batch", str(path)])
+        assert exit_code == 2
+        assert "valid JSON" in capsys.readouterr().err
+
+
+class TestBackendsCommand:
+    def test_backends_lists_registry(self, capsys):
+        exit_code = main(["backends"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        for name in ("dense", "sparse", "basic", "size-constrained", "extbbclq"):
+            assert name in out
+
+    def test_backends_json(self, capsys):
+        exit_code = main(["backends", "--json"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(out)
+        names = {entry["name"] for entry in payload}
+        assert {"dense", "sparse", "local_search"} <= names
 
 
 class TestGenerateCommand:
@@ -82,8 +204,27 @@ class TestInformationCommands:
 
 
 class TestBenchCommand:
+    @pytest.mark.bench
     def test_bench_figure6(self, capsys):
         exit_code = main(["bench", "figure6"])
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "bidegeneracy" in out
+
+    def test_bench_kernels_writes_json(self, tmp_path, capsys):
+        out_path = tmp_path / "kernels.json"
+        exit_code = main(
+            ["bench", "kernels", "--time-budget", "0.05", "--write-json", str(out_path)]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "speedup" in out or "kernel" in out
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        assert {row["kernel"] for row in document["rows"]} == {"bits", "sets"}
+        # The extended dense suite reaches beyond side 40.
+        assert any(row["size"] == "48x48" for row in document["rows"])
+
+    def test_write_json_rejected_for_other_artefacts(self, capsys):
+        exit_code = main(["bench", "figure6", "--write-json", "x.json"])
+        assert exit_code == 2
+        assert "kernels" in capsys.readouterr().err

@@ -11,7 +11,6 @@ from __future__ import annotations
 import pytest
 
 from repro import (
-    BipartiteGraph,
     bidegeneracy,
     degeneracy,
     maximum_balanced_biclique,

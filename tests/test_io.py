@@ -8,7 +8,6 @@ import networkx as nx
 import pytest
 
 from repro.exceptions import GraphFormatError
-from repro.graph.bipartite import BipartiteGraph
 from repro.graph.generators import random_bipartite
 from repro.graph.io import (
     from_networkx,

@@ -11,7 +11,6 @@ from repro.cores.orders import (
     ALL_ORDERS,
     ORDER_BIDEGENERACY,
     ORDER_DEGENERACY,
-    ORDER_DEGREE,
     degree_order,
     search_order,
 )

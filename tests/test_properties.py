@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.bipartite import LEFT, BipartiteGraph
 from repro.graph.complement import bipartite_complement
 from repro.graph.validation import check_consistent, is_biclique
 from repro.cores.core import core_numbers, degeneracy, k_core

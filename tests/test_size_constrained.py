@@ -19,6 +19,7 @@ from repro.mbb.size_constrained import (
     find_biclique_of_size,
     has_biclique_of_size,
     maximal_biclique_profile,
+    size_constrained_mbb,
 )
 from repro.baselines.brute_force import brute_force_side_size
 
@@ -75,6 +76,68 @@ class TestFindBicliqueOfSize:
     def test_budget_returns_none(self):
         graph = random_bipartite(15, 15, 0.5, seed=2)
         assert find_biclique_of_size(graph, 6, 6, node_budget=1) is None
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(InvalidParameterError):
+            find_biclique_of_size(complete_bipartite(3, 3), 2, 2, kernel="quantum")
+
+
+class TestKernelAgreement:
+    """The bitset padding reduction and the set search decide identically."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_kernels_agree_on_random_instances(self, seed):
+        graph = random_bipartite(6, 7, 0.5, seed=seed)
+        for a in range(0, 6):
+            for b in range(0, 6):
+                bits = find_biclique_of_size(graph, a, b, kernel="bits")
+                sets = find_biclique_of_size(graph, a, b, kernel="sets")
+                assert (bits is None) == (sets is None), (seed, a, b)
+                if bits is not None:
+                    assert len(bits.left) >= a and len(bits.right) >= b
+                    assert is_biclique(graph, bits.left, bits.right)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_profiles_agree_across_kernels(self, seed):
+        graph = random_bipartite(5, 6, 0.5, seed=40 + seed)
+        assert maximal_biclique_profile(graph, kernel="bits") == (
+            maximal_biclique_profile(graph, kernel="sets")
+        )
+
+    def test_asymmetric_padding_both_directions(self):
+        graph = star_bipartite(4)
+        # b > a exercises left-side padding, a > b right-side padding.
+        assert has_biclique_of_size(graph, 1, 4, kernel="bits")
+        assert not has_biclique_of_size(graph, 2, 1, kernel="bits")
+        wide = crown_graph(5)
+        assert has_biclique_of_size(wide, 4, 1, kernel="bits")
+        assert not has_biclique_of_size(wide, 5, 1, kernel="bits")
+
+
+class TestSizeConstrainedMBB:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_oracle(self, seed):
+        graph = random_bipartite(7, 7, 0.5, seed=seed)
+        result = size_constrained_mbb(graph)
+        assert result.optimal
+        assert result.side_size == brute_force_side_size(graph)
+        assert result.biclique.is_valid_in(graph)
+        assert result.biclique.is_balanced
+
+    def test_set_kernel_matches_bits(self):
+        graph = random_bipartite(8, 8, 0.6, seed=3)
+        bits = size_constrained_mbb(graph, kernel="bits")
+        sets = size_constrained_mbb(graph, kernel="sets")
+        assert bits.side_size == sets.side_size
+
+    def test_budget_marks_result_non_optimal(self):
+        graph = random_bipartite(15, 15, 0.5, seed=4)
+        result = size_constrained_mbb(graph, node_budget=2)
+        assert not result.optimal
+
+    def test_empty_graph(self):
+        result = size_constrained_mbb(BipartiteGraph())
+        assert result.optimal and result.side_size == 0
 
 
 class TestMaximalBicliqueProfile:

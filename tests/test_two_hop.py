@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
 from repro.graph.generators import complete_bipartite, path_bipartite, random_bipartite
 from repro.cores.two_hop import (

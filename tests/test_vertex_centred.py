@@ -13,7 +13,7 @@ from repro.mbb.vertex_centred import (
     subgraph_density_profile,
     total_subgraph_size,
 )
-from repro.baselines.brute_force import brute_force_mbb, brute_force_side_size
+from repro.baselines.brute_force import brute_force_side_size
 
 
 class TestSubgraphConstruction:
