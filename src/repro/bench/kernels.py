@@ -1,14 +1,24 @@
-"""Kernel comparison — bitset vs adjacency-set ``denseMBB`` inner loop.
+"""Kernel comparison — bitset vs adjacency-set inner loops, per stage.
 
-Times :func:`repro.mbb.dense.dense_mbb` with both branch-and-bound kernels
-on the Table 4 dense synthetic instances.  Both kernels run the same
-algorithm and find the same optimum; their node counts (reported per row)
-differ only by a few percent from tie-breaking, so the time ratio mostly
-isolates the data-structure effect: hash-set intersections vs single
-``&``/``bit_count`` operations on packed integers.
+Two comparisons are produced, both over the :data:`KERNELS` pair:
+
+* **dense rows** time :func:`repro.mbb.dense.dense_mbb` with both
+  branch-and-bound kernels on the Table 4 dense synthetic instances;
+* **bridge rows** time :func:`repro.mbb.bridge.bridge_mbb` — the sparse
+  framework's S2 stage — with both kernels on the largest KONECT
+  stand-ins, from the same precomputed bidegeneracy order and an empty
+  incumbent (the ``bd1``-style worst case where every centred subgraph
+  must be peeled).  Sharing the order isolates exactly the part of the
+  stage the ``kernel`` switch governs.
+
+Both kernels run the same algorithm with the same tie-breaking, so dense
+rows find the same optimum (node counts differ by a few percent) and
+bridge rows keep the same surviving subgraphs; the time ratio therefore
+isolates the data-structure effect: hash-set intersections and dict-keyed
+bucket peels vs single ``&``/``bit_count`` operations on packed integers.
 
 The resulting rows are archived as ``BENCH_kernels.json`` at the repository
-root so regressions of the bitset kernel are caught by comparing against
+root so regressions of the bitset kernels are caught by comparing against
 the committed baseline.
 """
 
@@ -18,9 +28,13 @@ import json
 from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.harness import format_table, run_backend
+from repro.bench.harness import format_table, run_backend, timed
+from repro.cores.orders import ORDER_BIDEGENERACY, search_order
+from repro.mbb.bridge import bridge_mbb
+from repro.mbb.context import SearchContext
 from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
 from repro.mbb.heuristics import degree_heuristic
+from repro.workloads.datasets import load_dataset
 from repro.workloads.synthetic import DenseCase, dense_case_graph
 
 #: Table 4-style cases used for the comparison: doubling sides at the two
@@ -35,6 +49,26 @@ DEFAULT_KERNEL_CASES = (
     DenseCase(side=40, density=0.85),
     DenseCase(side=48, density=0.85),
 )
+
+#: Reduced dense sweep for CI smoke runs (seconds, not minutes).
+SMOKE_KERNEL_CASES = (
+    DenseCase(side=16, density=0.85),
+    DenseCase(side=24, density=0.85),
+)
+
+#: KONECT stand-ins used for the bridging-stage comparison: the largest /
+#: densest tough datasets, where S2 scans the most non-trivial centred
+#: subgraphs.
+DEFAULT_BRIDGE_DATASETS = (
+    "jester",
+    "flickr-groupmemberships",
+    "discogs-style",
+    "reuters",
+    "gottron-trec",
+)
+
+#: Single small stand-in for CI smoke runs of the bridge comparison.
+SMOKE_BRIDGE_DATASETS = ("unicodelang",)
 
 KERNELS = (KERNEL_SETS, KERNEL_BITS)
 
@@ -68,6 +102,7 @@ def run_kernel_case(
                 timed_out = True
         rows.append(
             {
+                "stage": "dense",
                 "size": f"{case.side}x{case.side}",
                 "density": case.density,
                 "kernel": kernel,
@@ -76,6 +111,77 @@ def run_kernel_case(
                 "mbb_side": max(sides),
                 "timed_out": timed_out,
             }
+        )
+    return rows
+
+
+def run_bridge_case(
+    dataset: str,
+    *,
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Time the bridging stage (S2) with both kernels on one stand-in.
+
+    The bidegeneracy order — the kernel-independent fixed cost of the
+    stage — is computed once and shared, so the measured time is the
+    per-subgraph work the ``kernel`` switch actually governs: member-set
+    slicing, the core-decomposition peel, the degeneracy test and the
+    local heuristic.  The incumbent starts empty (the ``bd1`` worst case:
+    no size test kills a subgraph for free).  Each kernel is run
+    ``repeats`` times and the minimum is reported, since these are
+    sub-second measurements.
+    """
+    graph = load_dataset(dataset)
+    order = search_order(graph, ORDER_BIDEGENERACY)
+    rows: List[Dict[str, object]] = []
+    for kernel in KERNELS:
+        completed_seconds = float("inf")
+        aborted_seconds = float("inf")
+        survivors = 0
+        side = 0
+        for _ in range(max(1, repeats)):
+            context = SearchContext(time_budget=time_budget)
+            outcome, elapsed = timed(
+                bridge_mbb, graph, context, kernel=kernel, total_order=order
+            )
+            # Every archived column (seconds included) comes from completed
+            # repeats only, so the row never mixes a full measurement with
+            # a partial scan; aborted timings are the fallback when every
+            # repeat blew the budget, and only then is timed_out reported.
+            if context.aborted:
+                aborted_seconds = min(aborted_seconds, elapsed)
+            else:
+                completed_seconds = min(completed_seconds, elapsed)
+                survivors = len(outcome.surviving)
+                side = context.best_side
+        all_aborted = completed_seconds == float("inf")
+        rows.append(
+            {
+                "stage": "bridge",
+                "size": dataset,
+                "density": round(graph.density, 5),
+                "kernel": kernel,
+                "seconds": aborted_seconds if all_aborted else completed_seconds,
+                "survivors": survivors,
+                "mbb_side": side,
+                "timed_out": all_aborted,
+            }
+        )
+    return rows
+
+
+def run_bridge_comparison(
+    datasets: Sequence[str] = DEFAULT_BRIDGE_DATASETS,
+    *,
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Produce all bridging-stage rows, one per (dataset, kernel)."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(
+            run_bridge_case(dataset, repeats=repeats, time_budget=time_budget)
         )
     return rows
 
@@ -96,43 +202,67 @@ def run_kernel_comparison(
 
 
 def speedups(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
-    """Per-case ``sets seconds / bits seconds`` ratios."""
+    """Per-case ``sets seconds / bits seconds`` ratios.
+
+    A pair in which either kernel timed out carries ``timed_out=True``:
+    the aborted side's time is a truncated lower bound, so the ratio is a
+    *lower bound on the real speedup* (when ``sets`` timed out) or
+    meaningless (when ``bits`` did) rather than a measurement, and the
+    committed-baseline comparison must not treat it as one.
+    """
     by_case: Dict[tuple, Dict[str, Dict[str, object]]] = {}
     for row in rows:
-        key = (row["size"], row["density"])
+        key = (row.get("stage", "dense"), row["size"], row["density"])
         by_case.setdefault(key, {})[str(row["kernel"])] = row
     result: List[Dict[str, object]] = []
-    for (size, density), pair in by_case.items():
+    for (stage, size, density), pair in by_case.items():
         if KERNEL_SETS not in pair or KERNEL_BITS not in pair:
             continue
         sets_s = float(pair[KERNEL_SETS]["seconds"])  # type: ignore[arg-type]
         bits_s = float(pair[KERNEL_BITS]["seconds"])  # type: ignore[arg-type]
         result.append(
             {
+                "stage": stage,
                 "size": size,
                 "density": density,
                 "sets_seconds": sets_s,
                 "bits_seconds": bits_s,
                 "speedup": sets_s / bits_s if bits_s > 0 else float("inf"),
+                "timed_out": bool(
+                    pair[KERNEL_SETS].get("timed_out")
+                    or pair[KERNEL_BITS].get("timed_out")
+                ),
             }
         )
     return result
 
 
-def format_kernel_comparison(rows: Sequence[Dict[str, object]]) -> str:
-    """Render raw rows plus the per-case speedup summary."""
-    summary = speedups(rows)
-    return "\n\n".join(
-        [
-            format_table(list(rows)),
-            format_table(summary) if summary else "(no complete kernel pairs)",
-        ]
+def format_kernel_comparison(
+    rows: Sequence[Dict[str, object]],
+    bridge_rows: Sequence[Dict[str, object]] = (),
+) -> str:
+    """Render raw rows (dense, then bridge) plus the speedup summaries."""
+    summary = speedups(list(rows) + list(bridge_rows))
+    sections = [format_table(list(rows))]
+    if bridge_rows:
+        sections.append(format_table(list(bridge_rows)))
+    sections.append(
+        format_table(summary) if summary else "(no complete kernel pairs)"
     )
+    return "\n\n".join(sections)
 
 
-def write_benchmark_json(rows: Sequence[Dict[str, object]], path: str) -> None:
+def write_benchmark_json(
+    rows: Sequence[Dict[str, object]],
+    path: str,
+    bridge_rows: Sequence[Dict[str, object]] = (),
+) -> None:
     """Archive comparison rows (plus speedups) as a JSON document."""
-    document = {"rows": list(rows), "speedups": speedups(rows)}
+    document = {
+        "rows": list(rows),
+        "bridge_rows": list(bridge_rows),
+        "speedups": speedups(list(rows) + list(bridge_rows)),
+    }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")

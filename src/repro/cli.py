@@ -137,6 +137,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also archive the raw rows as JSON (kernels artefact only, "
         "e.g. BENCH_kernels.json)",
     )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="kernels artefact only: run a reduced sweep (two dense cases, "
+        "one bridge dataset) suitable for CI smoke checks",
+    )
     return parser
 
 
@@ -267,11 +273,25 @@ def _command_bench(args: argparse.Namespace) -> int:
     if args.write_json and args.artefact != "kernels":
         print("error: --write-json is only supported for the kernels artefact", file=sys.stderr)
         return 2
+    if args.smoke and args.artefact != "kernels":
+        print("error: --smoke is only supported for the kernels artefact", file=sys.stderr)
+        return 2
     if args.artefact == "kernels":
-        rows = kernels.run_kernel_comparison(time_budget=budget)
-        print(kernels.format_kernel_comparison(rows))
+        if args.smoke:
+            cases = kernels.SMOKE_KERNEL_CASES
+            datasets = kernels.SMOKE_BRIDGE_DATASETS
+            instances = 1
+        else:
+            cases = kernels.DEFAULT_KERNEL_CASES
+            datasets = kernels.DEFAULT_BRIDGE_DATASETS
+            instances = 2
+        rows = kernels.run_kernel_comparison(
+            cases, instances=instances, time_budget=budget
+        )
+        bridge_rows = kernels.run_bridge_comparison(datasets, time_budget=budget)
+        print(kernels.format_kernel_comparison(rows, bridge_rows))
         if args.write_json:
-            kernels.write_benchmark_json(rows, args.write_json)
+            kernels.write_benchmark_json(rows, args.write_json, bridge_rows)
             print(f"\narchived rows to {args.write_json}")
     elif args.artefact == "table4":
         print(table4.format_table4(table4.run_table4(time_budget=budget, instances=1)))

@@ -14,7 +14,13 @@ The public surface of this package is:
 """
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
-from repro.graph.bitset import IndexedBitGraph, iter_bits, k_core_masks
+from repro.graph.bitset import (
+    IndexedBitGraph,
+    core_numbers_masks,
+    degeneracy_of_mask,
+    iter_bits,
+    k_core_masks,
+)
 from repro.graph.complement import bipartite_complement, complement_density
 from repro.graph import generators, io, validation
 
@@ -25,6 +31,8 @@ __all__ = [
     "IndexedBitGraph",
     "iter_bits",
     "k_core_masks",
+    "core_numbers_masks",
+    "degeneracy_of_mask",
     "bipartite_complement",
     "complement_density",
     "generators",

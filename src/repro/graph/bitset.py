@@ -72,11 +72,15 @@ class IndexedBitGraph:
         self.adj_left = adj_left
         adj_right = [0] * len(right_labels)
         edges = 0
+        # Transpose with an inline bit loop — this constructor runs once per
+        # vertex-centred subgraph, so generator overhead would add up.
         for i, row in enumerate(adj_left):
             bit = 1 << i
             edges += row.bit_count()
-            for j in iter_bits(row):
-                adj_right[j] |= bit
+            while row:
+                low = row & -row
+                row ^= low
+                adj_right[low.bit_length() - 1] |= bit
         self.adj_right = adj_right
         self._num_edges = edges
 
@@ -202,6 +206,140 @@ class IndexedBitGraph:
             f"IndexedBitGraph(|L|={self.n_left}, |R|={self.n_right}, "
             f"|E|={self.num_edges})"
         )
+
+
+def core_numbers_masks(
+    graph: IndexedBitGraph,
+    left_mask: Optional[int] = None,
+    right_mask: Optional[int] = None,
+) -> Tuple[List[int], List[int]]:
+    """Core numbers of (a restriction of) ``graph``, per side index.
+
+    The bitset counterpart of :func:`repro.cores.core.core_numbers`: the
+    same linear-time Batagelj-Zaveršnik bucket peel, but degrees are
+    ``bit_count`` calls on masked adjacency rows and the removed set is a
+    pair of bitmasks, so no hash sets are ever built.  Returns
+    ``(core_left, core_right)`` lists aligned with ``left_labels`` /
+    ``right_labels``; entries for vertices outside the restriction are 0
+    and carry no meaning.
+    """
+    left = graph.all_left_mask if left_mask is None else left_mask
+    right = graph.all_right_mask if right_mask is None else right_mask
+    n_left = graph.n_left
+    adj_left = graph.adj_left
+    adj_right = graph.adj_right
+    core_left = [0] * n_left
+    core_right = [0] * graph.n_right
+
+    # Vertices are encoded as ``i`` (left) and ``n_left + j`` (right) so the
+    # peel works one flat, list-indexed degree table; bit loops are inlined
+    # because this function runs once per vertex-centred subgraph.
+    degree = [0] * (n_left + graph.n_right)
+    total = 0
+    max_degree = 0
+    remaining = left
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        i = low.bit_length() - 1
+        d = (adj_left[i] & right).bit_count()
+        degree[i] = d
+        if d > max_degree:
+            max_degree = d
+        total += 1
+    remaining = right
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        j = low.bit_length() - 1
+        d = (adj_right[j] & left).bit_count()
+        degree[n_left + j] = d
+        if d > max_degree:
+            max_degree = d
+        total += 1
+    if total == 0:
+        return core_left, core_right
+    buckets: List[List[int]] = [[] for _ in range(max_degree + 1)]
+    remaining = left
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        i = low.bit_length() - 1
+        buckets[degree[i]].append(i)
+    remaining = right
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        j = low.bit_length() - 1
+        buckets[degree[n_left + j]].append(n_left + j)
+
+    remaining_left = left
+    remaining_right = right
+    current = 0
+    processed = 0
+    pointer = 0
+    while processed < total:
+        while pointer <= max_degree and not buckets[pointer]:
+            pointer += 1
+        if pointer > max_degree:
+            break
+        node = buckets[pointer].pop()
+        if node < n_left:
+            bit = 1 << node
+            if not remaining_left & bit or degree[node] != pointer:
+                continue
+            remaining_left ^= bit
+            if pointer > current:
+                current = pointer
+            core_left[node] = current
+            neighbours = adj_left[node] & remaining_right
+            offset = n_left
+        else:
+            j = node - n_left
+            bit = 1 << j
+            if not remaining_right & bit or degree[node] != pointer:
+                continue
+            remaining_right ^= bit
+            if pointer > current:
+                current = pointer
+            core_right[j] = current
+            neighbours = adj_right[j] & remaining_left
+            offset = 0
+        processed += 1
+        while neighbours:
+            low = neighbours & -neighbours
+            neighbours ^= low
+            key = offset + low.bit_length() - 1
+            d = degree[key]
+            if d > pointer:
+                degree[key] = d - 1
+                buckets[d - 1].append(key)
+        if pointer > 0:
+            pointer -= 1
+    return core_left, core_right
+
+
+def degeneracy_of_mask(
+    graph: IndexedBitGraph,
+    left_mask: Optional[int] = None,
+    right_mask: Optional[int] = None,
+) -> int:
+    """Degeneracy of (a restriction of) ``graph`` (0 when empty).
+
+    Equals ``max(core numbers)`` over the restricted vertices, computed by
+    one :func:`core_numbers_masks` peel.
+    """
+    left = graph.all_left_mask if left_mask is None else left_mask
+    right = graph.all_right_mask if right_mask is None else right_mask
+    core_left, core_right = core_numbers_masks(graph, left, right)
+    best = 0
+    for i in iter_bits(left):
+        if core_left[i] > best:
+            best = core_left[i]
+    for j in iter_bits(right):
+        if core_right[j] > best:
+            best = core_right[j]
+    return best
 
 
 def k_core_masks(

@@ -22,10 +22,12 @@ Public entry points:
 
 Kernel selection: both exact solvers default to the indexed bitset kernel
 (:data:`~repro.mbb.dense.KERNEL_BITS`), which runs the branch and bound on
-:class:`~repro.graph.bitset.IndexedBitGraph` masks; pass
-``kernel=`` :data:`~repro.mbb.dense.KERNEL_SETS` (or
-``SparseConfig(kernel="sets")``) for the original adjacency-set inner loop,
-kept for ablations and as a fallback.
+:class:`~repro.graph.bitset.IndexedBitGraph` masks; for the sparse
+framework the same switch also governs the bridging stage (S2), whose
+core decomposition, degeneracy pruning and local greedy run on masks.
+Pass ``kernel=`` :data:`~repro.mbb.dense.KERNEL_SETS` (or
+``SparseConfig(kernel="sets")``) for the original adjacency-set
+implementation, kept for ablations and as a fallback.
 
 Lemma 5 note: the S1 early exit of the sparse framework compares the
 incumbent side size against the degeneracy of the graph *before* the
@@ -44,7 +46,14 @@ from repro.mbb.dense import (
     KERNEL_SETS,
     dense_mbb,
 )
-from repro.mbb.heuristics import core_heuristic, degree_heuristic, greedy_extend, h_mbb
+from repro.mbb.heuristics import (
+    core_heuristic,
+    core_heuristic_bits,
+    degree_heuristic,
+    greedy_extend,
+    greedy_extend_bits,
+    h_mbb,
+)
 from repro.mbb.polynomial import (
     is_polynomially_solvable,
     maximum_balanced_biclique_near_complete,
@@ -112,7 +121,9 @@ __all__ = [
     "METHOD_BASIC",
     "degree_heuristic",
     "core_heuristic",
+    "core_heuristic_bits",
     "greedy_extend",
+    "greedy_extend_bits",
     "h_mbb",
     "is_polynomially_solvable",
     "maximum_balanced_biclique_near_complete",

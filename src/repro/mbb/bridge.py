@@ -6,7 +6,8 @@ slices the graph into vertex-centred subgraphs along that order and prunes
 each subgraph with progressively stronger tests:
 
 1. **size test** — a subgraph with fewer than ``best_side + 1`` vertices on
-   either side cannot contain an improving balanced biclique;
+   either side cannot contain an improving balanced biclique; applied to
+   the member sets before any subgraph representation is materialised;
 2. **degeneracy test** — neither can one whose degeneracy is at most the
    incumbent side size;
 3. **local heuristic** — the core-number greedy is run on each survivor,
@@ -14,21 +15,42 @@ each subgraph with progressively stronger tests:
    exhaustive search happens (the ``heuLocal`` series of Figure 4).
 
 The subgraphs that survive are handed to ``verifyMBB`` (Algorithm 8).
+
+With the default :data:`~repro.mbb.dense.KERNEL_BITS` kernel every
+per-subgraph computation runs on :class:`~repro.graph.bitset.
+IndexedBitGraph` masks: the subgraph is indexed once straight from the
+member sets, the degeneracy test and the seed ranking share a single
+:func:`~repro.graph.bitset.core_numbers_masks` bucket peel, the greedy runs
+through :func:`~repro.mbb.heuristics.core_heuristic_bits`, and survivors
+keep their bitgraph cached so the verification stage searches the same
+object without re-converting.  The original adjacency-set implementation
+stays selectable as :data:`~repro.mbb.dense.KERNEL_SETS` for the ablation
+benchmarks; both kernels apply the same exact tests with the same
+tie-breaking, so they keep the same subgraphs.
+
+Budgets are enforced between subgraphs: each centred subgraph polls
+:meth:`~repro.mbb.context.SearchContext.checkpoint`, so a deadline or
+cancellation hook firing mid-stage aborts within one subgraph and the
+incumbent found so far is reported with ``context.aborted`` set.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Sequence
 
-from repro.graph.bipartite import BipartiteGraph
-from repro.cores.core import core_numbers, degeneracy
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.bitset import core_numbers_masks
+from repro.cores.core import core_numbers
 from repro.cores.orders import ORDER_BIDEGENERACY, search_order
-from repro.mbb.context import SearchContext
-from repro.mbb.heuristics import core_heuristic
+from repro.mbb.context import SearchAborted, SearchContext
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
+from repro.mbb.heuristics import core_heuristic, core_heuristic_bits
 from repro.mbb.result import Biclique
 from repro.mbb.vertex_centred import (
     VertexCentredSubgraph,
+    VertexKey,
     iter_vertex_centred_subgraphs,
 )
 
@@ -40,11 +62,71 @@ class BridgeOutcome:
     best: Biclique
     surviving: List[VertexCentredSubgraph] = field(default_factory=list)
     local_heuristic_best: Biclique = field(default_factory=Biclique.empty)
+    #: True when a budget or cancellation cut the scan short; the stage's
+    #: conclusions are then best-effort, never proofs.
+    aborted: bool = False
 
     @property
     def exhausted(self) -> bool:
-        """True when every centred subgraph was pruned away."""
-        return not self.surviving
+        """True when every centred subgraph was *provably* pruned away.
+
+        An aborted scan with no survivors is not exhaustion — subgraphs it
+        never reached could still hold an improvement — so this stays
+        ``False`` whenever :attr:`aborted` is set, and callers may treat
+        ``exhausted`` as an optimality certificate.
+        """
+        return not self.surviving and not self.aborted
+
+
+def _scan_bits(
+    sub: VertexCentredSubgraph,
+    target: int,
+    use_core_pruning: bool,
+    use_local_heuristic: bool,
+) -> Optional[Biclique]:
+    """Bitset prunes + local heuristic for one subgraph that passed the size test.
+
+    Returns the local-heuristic candidate (possibly empty) when the
+    subgraph survives, ``None`` when the degeneracy test killed it.  One
+    :func:`core_numbers_masks` peel feeds both the degeneracy test and the
+    heuristic's seed ranking; the degeneracy is cached on ``sub``.
+    """
+    bitgraph = sub.to_bitgraph()
+    cores = None
+    if use_core_pruning:
+        cores = core_numbers_masks(bitgraph)
+        sub.degeneracy = max(
+            (value for side in cores for value in side), default=0
+        )
+        if sub.degeneracy < target:
+            return None
+    if not use_local_heuristic:
+        return Biclique.empty()
+    return core_heuristic_bits(bitgraph, cores=cores)
+
+
+def _scan_sets(
+    sub: VertexCentredSubgraph,
+    target: int,
+    use_core_pruning: bool,
+    use_local_heuristic: bool,
+) -> Optional[Biclique]:
+    """Adjacency-set counterpart of :func:`_scan_bits` (``sets`` ablation).
+
+    Also runs the bucket peel once: the degeneracy is the maximum of the
+    core numbers that the local heuristic needs anyway (an earlier revision
+    peeled the same subgraph twice here and a third time in the re-filter).
+    """
+    subgraph = sub.graph
+    cores = None
+    if use_core_pruning:
+        cores = core_numbers(subgraph)
+        sub.degeneracy = max(cores.values(), default=0)
+        if sub.degeneracy < target:
+            return None
+    if not use_local_heuristic:
+        return Biclique.empty()
+    return core_heuristic(subgraph, cores=cores)
 
 
 def bridge_mbb(
@@ -54,6 +136,8 @@ def bridge_mbb(
     order: str = ORDER_BIDEGENERACY,
     use_core_pruning: bool = True,
     use_local_heuristic: bool = True,
+    kernel: str = KERNEL_BITS,
+    total_order: Optional[Sequence[VertexKey]] = None,
 ) -> BridgeOutcome:
     """Run the bridging stage on the (already reduced) residual graph.
 
@@ -62,7 +146,10 @@ def bridge_mbb(
     graph:
         The residual graph produced by the heuristic stage.
     context:
-        Shared search context carrying the incumbent found so far.
+        Shared search context carrying the incumbent found so far.  Its
+        :meth:`~repro.mbb.context.SearchContext.checkpoint` is polled once
+        per centred subgraph; when a budget fires the stage stops, sets
+        ``context.aborted`` and returns the subgraphs scanned so far.
     order:
         Total search order; one of ``degree``, ``degeneracy``,
         ``bidegeneracy`` (the ablations ``bd4``/``bd5`` use the first two).
@@ -70,46 +157,88 @@ def bridge_mbb(
         When ``False`` the degeneracy test is skipped (``bd2`` ablation).
     use_local_heuristic:
         When ``False`` the per-subgraph greedy is skipped.
+    kernel:
+        :data:`~repro.mbb.dense.KERNEL_BITS` (default) runs every
+        per-subgraph computation on bitmasks;
+        :data:`~repro.mbb.dense.KERNEL_SETS` keeps the adjacency-set
+        implementation for ablations.
+    total_order:
+        Optional precomputed total search order (must be the order that
+        ``order`` names, over exactly this graph's vertices).  Computing
+        the bidegeneracy order is the kernel-independent fixed cost of
+        this stage; callers that already hold it — repeated solves on one
+        residual graph, or the kernel benchmarks isolating the
+        data-structure effect — pass it here to skip the recomputation.
     """
+    if kernel not in (KERNEL_BITS, KERNEL_SETS):
+        raise InvalidParameterError(
+            f"unknown kernel {kernel!r}; expected one of "
+            f"{(KERNEL_BITS, KERNEL_SETS)}"
+        )
     outcome = BridgeOutcome(best=context.best)
     if graph.num_vertices == 0:
         return outcome
 
-    total_order = search_order(graph, order)
+    scan = _scan_bits if kernel == KERNEL_BITS else _scan_sets
+    if total_order is None:
+        total_order = search_order(graph, order)
+    else:
+        # A stale order (e.g. computed before the heuristic stage's core
+        # reductions shrank the graph) would otherwise surface as a bare
+        # KeyError deep inside member-set construction.
+        expected = {(LEFT, u) for u in graph.left_vertices()}
+        expected.update((RIGHT, v) for v in graph.right_vertices())
+        if len(total_order) != len(expected) or set(total_order) != expected:
+            raise InvalidParameterError(
+                "total_order must be a permutation of the graph's "
+                "(side, label) vertex keys; it covers a different vertex set "
+                "(was it computed on a pre-reduction graph?)"
+            )
     surviving: List[VertexCentredSubgraph] = []
     local_best = Biclique.empty()
-    for sub in iter_vertex_centred_subgraphs(graph, total_order):
-        context.stats.subgraphs_generated += 1
-        subgraph = sub.graph
-        target = context.best_side + 1
-        if min(subgraph.num_left, subgraph.num_right) < target:
-            context.stats.subgraphs_pruned += 1
-            continue
-        if use_core_pruning and degeneracy(subgraph) < target:
-            context.stats.subgraphs_pruned += 1
-            continue
-        if use_local_heuristic:
-            cores = core_numbers(subgraph) if use_core_pruning else None
-            candidate = core_heuristic(subgraph, cores=cores)
+    try:
+        for sub in iter_vertex_centred_subgraphs(graph, total_order):
+            context.checkpoint()
+            context.stats.subgraphs_generated += 1
+            target = context.best_side + 1
+            # Trivial size test on the member sets: nothing (bitgraph or
+            # BipartiteGraph) is materialised for subgraphs it kills.
+            if sub.min_side < target:
+                context.stats.subgraphs_pruned += 1
+                continue
+            candidate = scan(
+                sub, target, use_core_pruning, use_local_heuristic
+            )
+            if candidate is None:
+                context.stats.subgraphs_pruned += 1
+                continue
             if candidate.side_size > local_best.side_size:
                 local_best = candidate
             if context.offer_biclique(candidate):
                 context.stats.local_heuristic_side = max(
                     context.stats.local_heuristic_side, context.best_side
                 )
-        surviving.append(sub)
+            surviving.append(sub)
+    except SearchAborted:
+        # context.aborted is set; report the incumbent and whatever was
+        # scanned so far so the caller can return a best-effort result.
+        outcome.aborted = True
 
     # The incumbent may have improved while scanning; re-filter the kept
     # subgraphs with the final bound so the verification stage sees as few
-    # of them as possible.
+    # of them as possible.  The degeneracy cached during the scan makes the
+    # second pass peel-free.
     final_target = context.best_side + 1
     filtered: List[VertexCentredSubgraph] = []
     for sub in surviving:
-        subgraph = sub.graph
-        if min(subgraph.num_left, subgraph.num_right) < final_target:
+        if sub.min_side < final_target:
             context.stats.subgraphs_pruned += 1
             continue
-        if use_core_pruning and degeneracy(subgraph) < final_target:
+        if (
+            use_core_pruning
+            and sub.degeneracy is not None
+            and sub.degeneracy < final_target
+        ):
             context.stats.subgraphs_pruned += 1
             continue
         filtered.append(sub)

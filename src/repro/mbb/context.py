@@ -15,6 +15,20 @@ context owns:
   importantly :class:`repro.api.engine.MBBEngine`, which enforces
   per-request budgets across batch solves — can stop a running search
   through one mechanism instead of per-solver plumbing.
+
+Two polling granularities exist.  :meth:`SearchContext.enter_node` is the
+per-search-node probe: it records node statistics and enforces *every*
+budget, including the node budget.  :meth:`SearchContext.checkpoint` is the
+lightweight probe for the stages that do no branch-and-bound of their own —
+the heuristic stage polls it once per greedy seed and the bridging stage
+once per vertex-centred subgraph.  ``checkpoint()`` enforces the
+cancellation hook, the wall-clock budget and the absolute deadline but
+deliberately does **not** touch node statistics (node counts keep measuring
+exhaustive-search work only) and does not test the node budget (no node is
+being entered).  Both raise :class:`SearchAborted` with ``aborted`` set, so
+a budget blown during S1/S2 aborts the solve just like one blown inside the
+dense kernel, and ``hbvMBB`` reports ``optimal=False`` instead of claiming
+exhaustion.
 """
 
 from __future__ import annotations
@@ -104,22 +118,36 @@ class SearchContext:
         """
         self.cancelled = True
 
-    def enter_node(self, depth: int) -> None:
-        """Record entry into a branch-and-bound node and enforce budgets."""
-        self.stats.record_node(depth)
+    def checkpoint(self) -> None:
+        """Enforce cancellation and wall-clock budgets outside the kernel.
+
+        The lightweight counterpart of :meth:`enter_node` for stages that
+        are not branch-and-bound searches (greedy seeds in S1, centred
+        subgraphs in S2): polls the cancellation hook, the relative time
+        budget and the absolute deadline, raising :class:`SearchAborted`
+        with ``aborted`` set when any fires.  Node statistics are *not*
+        recorded and the node budget is *not* tested — no search node is
+        being entered, and inflating the counters would distort the
+        breakdown experiments.
+        """
         if self.cancelled or (self.cancel_hook is not None and self.cancel_hook()):
             self.cancelled = True
             self.aborted = True
             raise SearchAborted("search cancelled")
-        if self.node_budget is not None and self.stats.nodes > self.node_budget:
-            self.aborted = True
-            raise SearchAborted(f"node budget {self.node_budget} exhausted")
         if self.time_budget is not None and self.elapsed > self.time_budget:
             self.aborted = True
             raise SearchAborted(f"time budget {self.time_budget}s exhausted")
         if self.deadline is not None and time.perf_counter() > self.deadline:
             self.aborted = True
             raise SearchAborted("deadline exceeded")
+
+    def enter_node(self, depth: int) -> None:
+        """Record entry into a branch-and-bound node and enforce budgets."""
+        self.stats.record_node(depth)
+        self.checkpoint()
+        if self.node_budget is not None and self.stats.nodes > self.node_budget:
+            self.aborted = True
+            raise SearchAborted(f"node budget {self.node_budget} exhausted")
 
     def record_leaf(self, depth: int) -> None:
         """Record that the node at ``depth`` was a leaf of the search tree."""

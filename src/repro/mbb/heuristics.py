@@ -10,16 +10,25 @@ Two greedy seeds are provided, following the paper: the global maximum
 *degree* and the maximum *core number*.  Both feed the same greedy
 extension routine, which grows the lagging side of the biclique by the
 candidate that preserves the most opposite-side candidates.
+
+The greedy extension and the core-seeded heuristic also exist in a
+mask-native form (:func:`greedy_extend_bits` / :func:`core_heuristic_bits`)
+operating on :class:`~repro.graph.bitset.IndexedBitGraph` rows; the
+bridging stage runs its per-subgraph local heuristic through them so S2
+never falls back to hash sets.  Both forms break ties identically (lowest
+``repr``-ordered vertex wins), so the two kernels trace the same greedy
+extensions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
+from repro.graph.bitset import IndexedBitGraph, core_numbers_masks, iter_bits
 from repro.cores.core import core_numbers, degeneracy
-from repro.mbb.context import SearchContext
+from repro.mbb.context import SearchAborted, SearchContext
 from repro.mbb.reductions import core_reduce
 from repro.mbb.result import Biclique
 
@@ -70,14 +79,23 @@ def greedy_extend(
             break
         best_vertex = None
         best_kept = -1
+        best_repr = ""
+        # Ties break on the smallest ``repr`` so the choice is deterministic
+        # across interpreter runs (set order is hash order for string
+        # labels) and identical to the bitset variant's index-order scan —
+        # a single pass, no sorted copy of the candidate set per step.
         for vertex in candidates:
             if extend_left:
                 kept = len(graph.neighbors_left(vertex) & others)
             else:
                 kept = len(graph.neighbors_right(vertex) & others)
-            if kept > best_kept:
+            if kept < best_kept:
+                continue
+            vertex_repr = repr(vertex)
+            if kept > best_kept or vertex_repr < best_repr:
                 best_kept = kept
                 best_vertex = vertex
+                best_repr = vertex_repr
         if best_vertex is None:
             break
         if extend_left:
@@ -89,6 +107,71 @@ def greedy_extend(
             cb.discard(best_vertex)
             ca &= graph.neighbors_right(best_vertex)
     return Biclique.of(a, b).balanced()
+
+
+def greedy_extend_bits(
+    graph: IndexedBitGraph,
+    seed_side: str,
+    seed_index: int,
+) -> Biclique:
+    """Mask-native :func:`greedy_extend` over an :class:`IndexedBitGraph`.
+
+    Same greedy rule, same tie-breaking (ascending index order equals
+    ascending ``repr`` order of the labels), but candidate bookkeeping is
+    four integer masks and "kept candidates" is one ``&``/``bit_count``
+    per scanned vertex.  Used by the bridging stage's local heuristic.
+    """
+    adj_left = graph.adj_left
+    adj_right = graph.adj_right
+    if seed_side == LEFT:
+        a = 1 << seed_index
+        b = 0
+        cb = adj_left[seed_index]
+        ca = 0
+        for j in iter_bits(cb):
+            ca |= adj_right[j]
+        ca &= ~a
+    else:
+        b = 1 << seed_index
+        a = 0
+        ca = adj_right[seed_index]
+        cb = 0
+        for i in iter_bits(ca):
+            cb |= adj_left[i]
+        cb &= ~b
+
+    while True:
+        extend_left = a.bit_count() <= b.bit_count()
+        if extend_left:
+            candidates, others, adj = ca, cb, adj_left
+        else:
+            candidates, others, adj = cb, ca, adj_right
+        if not candidates:
+            break
+        best_bit = 0
+        best_neighbours = 0
+        best_kept = -1
+        remaining = candidates
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            neighbours = adj[low.bit_length() - 1] & others
+            kept = neighbours.bit_count()
+            if kept > best_kept:
+                best_kept = kept
+                best_bit = low
+                best_neighbours = neighbours
+        if extend_left:
+            a |= best_bit
+            ca &= ~best_bit
+            cb = best_neighbours
+        else:
+            b |= best_bit
+            cb &= ~best_bit
+            ca = best_neighbours
+    return Biclique.of(
+        graph.left_labels_of(a), graph.right_labels_of(b)
+    ).balanced()
 
 
 def _top_vertices(
@@ -103,17 +186,33 @@ def _top_vertices(
     return keys[:top_r]
 
 
-def degree_heuristic(graph: BipartiteGraph, *, top_r: int = 5) -> Biclique:
-    """Maximum-degree seeded greedy balanced biclique (first half of hMBB)."""
+def degree_heuristic(
+    graph: BipartiteGraph,
+    *,
+    top_r: int = 5,
+    context: Optional[SearchContext] = None,
+) -> Biclique:
+    """Maximum-degree seeded greedy balanced biclique (first half of hMBB).
+
+    When ``context`` is given, :meth:`~repro.mbb.context.SearchContext.
+    checkpoint` is polled before every seed extension so engine deadlines
+    and cancellation hooks cut the heuristic stage short, and every seed's
+    result is offered to the incumbent as soon as it is found — work done
+    by completed seeds survives an abort on a later one.
+    """
 
     def score(side: str, label: Vertex) -> float:
         return graph.degree_left(label) if side == LEFT else graph.degree_right(label)
 
     best = Biclique.empty()
     for side, label in _top_vertices(graph, score, top_r):
+        if context is not None:
+            context.checkpoint()
         candidate = greedy_extend(graph, side, label)
         if candidate.side_size > best.side_size:
             best = candidate
+        if context is not None:
+            context.offer_biclique(candidate)
     return best
 
 
@@ -122,6 +221,7 @@ def core_heuristic(
     *,
     top_r: int = 5,
     cores: Optional[Dict[VertexKey, int]] = None,
+    context: Optional[SearchContext] = None,
 ) -> Biclique:
     """Maximum-core-number seeded greedy balanced biclique (second half of hMBB)."""
     if cores is None:
@@ -132,7 +232,44 @@ def core_heuristic(
 
     best = Biclique.empty()
     for side, label in _top_vertices(graph, score, top_r):
+        if context is not None:
+            context.checkpoint()
         candidate = greedy_extend(graph, side, label)
+        if candidate.side_size > best.side_size:
+            best = candidate
+        if context is not None:
+            context.offer_biclique(candidate)
+    return best
+
+
+def core_heuristic_bits(
+    graph: IndexedBitGraph,
+    *,
+    top_r: int = 5,
+    cores: Optional[Tuple[List[int], List[int]]] = None,
+) -> Biclique:
+    """Mask-native :func:`core_heuristic` over a whole :class:`IndexedBitGraph`.
+
+    ``cores`` is the ``(core_left, core_right)`` pair produced by
+    :func:`~repro.graph.bitset.core_numbers_masks`; passing the pair the
+    caller already computed for its degeneracy test avoids a second peel.
+    Seeds are ranked exactly like the set-based version — descending core
+    number, left side first, then ``repr`` of the label — so both kernels
+    extend the same seeds.
+    """
+    if cores is None:
+        cores = core_numbers_masks(graph)
+    core_left, core_right = cores
+    # A bitgraph's indices are already ``repr``-sorted per side and the
+    # side markers compare as "L" < "R", so ``(-core, side, index)`` ranks
+    # exactly like the set-based ``(-score, side, repr(label))`` key
+    # without building a repr string per vertex.
+    keys = [(-core, LEFT, i) for i, core in enumerate(core_left)]
+    keys.extend((-core, RIGHT, j) for j, core in enumerate(core_right))
+    keys.sort()
+    best = Biclique.empty()
+    for _, side, index in keys[:top_r]:
+        candidate = greedy_extend_bits(graph, side, index)
         if candidate.side_size > best.side_size:
             best = candidate
     return best
@@ -173,12 +310,27 @@ def h_mbb(
     revision of this function did) can never succeed and the early exit was
     dead code.  With the pre-reduction comparison, S1 can terminate the
     whole search while the residual graph is still nonempty.
+
+    Budgets are enforced: every greedy seed polls ``context.checkpoint()``,
+    so an engine deadline or cancellation hook stops the stage between two
+    seed extensions.  On abort the incumbent found so far is returned with
+    ``proven_optimal=False`` and ``context.aborted`` set — callers such as
+    :func:`repro.mbb.sparse.hbv_mbb` report ``optimal=False`` from it.
     """
     if context is None:
         context = SearchContext()
+    try:
+        return _h_mbb(graph, top_r, context)
+    except SearchAborted:
+        return HMBBOutcome(context.best, graph, False)
 
+
+def _h_mbb(
+    graph: BipartiteGraph, top_r: int, context: SearchContext
+) -> HMBBOutcome:
+    """Budget-unaware body of :func:`h_mbb` (checkpoints may raise)."""
     # Degree-based heuristic; Lemma 5 check on the *input* graph.
-    best = degree_heuristic(graph, top_r=top_r)
+    best = degree_heuristic(graph, top_r=top_r, context=context)
     context.offer_biclique(best)
     context.stats.heuristic_side = max(
         context.stats.heuristic_side, context.best_side
@@ -191,9 +343,13 @@ def h_mbb(
 
     # Core-based heuristic on the reduced graph; Lemma 5 check against the
     # degeneracy of that (pre-second-reduction) graph, then reduce again.
+    # The heuristic offers its seeds to the context as it goes, so an
+    # improvement is detected by comparing side sizes, not by the offer.
     cores = core_numbers(reduced)
-    improved = core_heuristic(reduced, top_r=top_r, cores=cores)
-    if context.offer_biclique(improved):
+    side_before = context.best_side
+    improved = core_heuristic(reduced, top_r=top_r, cores=cores, context=context)
+    context.offer_biclique(improved)
+    if context.best_side > side_before:
         context.stats.heuristic_side = max(
             context.stats.heuristic_side, context.best_side
         )

@@ -63,9 +63,10 @@ class SparseConfig:
     order: str = ORDER_BIDEGENERACY
     #: How many top-degree / top-core seeds the greedy heuristics try.
     heuristic_seeds: int = 5
-    #: Search kernel for the verification stage: ``"bits"`` (default) runs
-    #: the dense solver on IndexedBitGraph masks, ``"sets"`` on adjacency
-    #: sets (see :mod:`repro.mbb.dense`).
+    #: Search kernel for the bridging *and* verification stages: ``"bits"``
+    #: (default) runs S2's core decomposition / local heuristic and S3's
+    #: dense solver on IndexedBitGraph masks, ``"sets"`` on adjacency sets
+    #: (see :mod:`repro.mbb.dense` and :mod:`repro.mbb.bridge`).
     kernel: str = KERNEL_BITS
     #: Optional safety budgets forwarded to the search context.
     node_budget: Optional[int] = None
@@ -144,6 +145,16 @@ def hbv_mbb(
         outcome = h_mbb(graph, top_r=config.heuristic_seeds, context=context)
         context.offer_biclique(outcome.best)
         residual = outcome.reduced_graph
+        if context.aborted:
+            # A budget or cancellation fired between greedy seeds; the
+            # incumbent is best-effort, not proven optimal.
+            return MBBResult(
+                biclique=context.best,
+                optimal=False,
+                terminated_at=STEP_HEURISTIC,
+                stats=context.stats,
+                elapsed_seconds=context.elapsed,
+            )
         if outcome.proven_optimal:
             return MBBResult(
                 biclique=context.best,
@@ -163,8 +174,12 @@ def hbv_mbb(
         context,
         order=config.effective_order,
         use_core_pruning=config.use_core_pruning,
+        kernel=config.kernel,
     )
-    if bridge.exhausted:
+    if context.aborted or bridge.exhausted:
+        # Either every subgraph was pruned away (exhaustion proves the
+        # incumbent optimal) or a budget cut the scan short (best effort) —
+        # never claim exhaustion for an aborted bridge.
         return MBBResult(
             biclique=context.best,
             optimal=not context.aborted,

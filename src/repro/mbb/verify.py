@@ -7,12 +7,13 @@ result.  The subgraphs are first shrunk to their ``(best_side + 1)``-core
 (Lemma 4 again, now with the possibly improved incumbent).
 
 With the default :data:`~repro.mbb.dense.KERNEL_BITS` kernel each centred
-subgraph is converted once into an
-:class:`~repro.graph.bitset.IndexedBitGraph`; the core reduction is applied
-as a pair of vertex masks (:func:`~repro.graph.bitset.k_core_masks`) and
-the exhaustive search runs on bitmasks, so this stage never materialises
-additional ``BipartiteGraph`` copies.  The :data:`~repro.mbb.dense.
-KERNEL_SETS` path preserves the original behaviour for ablations.
+subgraph arrives with the :class:`~repro.graph.bitset.IndexedBitGraph` the
+bridging stage already built and cached on it, so no re-conversion happens
+here; the core reduction is applied as a pair of vertex masks
+(:func:`~repro.graph.bitset.k_core_masks`) and the exhaustive search runs
+on bitmasks, so this stage never materialises additional
+``BipartiteGraph`` copies.  The :data:`~repro.mbb.dense.KERNEL_SETS` path
+preserves the original behaviour for ablations.
 
 Because the surviving subgraphs are small (bounded by the bidegeneracy) and
 dense, the exhaustive step behaves near-polynomially in practice, which is
@@ -142,6 +143,10 @@ def verify_mbb(
         if context.aborted:
             break
         try:
+            # Budgets are polled between subgraphs as well as inside the
+            # kernel, so a deadline fires even when every remaining
+            # subgraph would be pruned before entering a search node.
+            context.checkpoint()
             search(sub, context, branching, use_core_pruning)
         except SearchAborted:
             break

@@ -11,12 +11,21 @@ The quality of the order determines how small and how dense the centred
 subgraphs are; the bidegeneracy order bounds their total size by
 ``O((|L|+|R|) * δ̈)`` (Lemma 8), which is what makes the sparse framework
 practical.
+
+A :class:`VertexCentredSubgraph` is deliberately *lazy*: generation only
+computes the member vertex sets, which is all the bridging stage needs for
+its trivial size test.  Neither representation of the induced subgraph — the
+:class:`~repro.graph.bitset.IndexedBitGraph` used by the default bitset
+pipeline nor the :class:`~repro.graph.bipartite.BipartiteGraph` used by the
+``sets`` ablation — is materialised until a consumer asks for it, and each
+is built at most once: the bitgraph the bridging stage builds for its core
+prunes is the very object the verification stage searches.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
 from repro.graph.bitset import IndexedBitGraph
@@ -26,11 +35,20 @@ VertexKey = Tuple[str, Vertex]
 
 @dataclass
 class VertexCentredSubgraph:
-    """One centred subgraph together with its centre vertex."""
+    """One centred subgraph: member sets first, graph forms on demand."""
 
     center: VertexKey
-    graph: BipartiteGraph
     position: int
+    left_members: Set[Vertex]
+    right_members: Set[Vertex]
+    parent: BipartiteGraph = field(repr=False)
+    #: Degeneracy of the induced subgraph, cached by the bridging stage so
+    #: its re-filter pass (and any later consumer) never re-peels.  ``None``
+    #: until a stage that ran a core decomposition stores it.
+    degeneracy: Optional[int] = field(default=None, compare=False)
+    _graph: Optional[BipartiteGraph] = field(
+        default=None, repr=False, compare=False
+    )
     _bitgraph: Optional[IndexedBitGraph] = field(
         default=None, repr=False, compare=False
     )
@@ -46,24 +64,57 @@ class VertexCentredSubgraph:
         return self.center[1]
 
     @property
+    def num_left(self) -> int:
+        """Number of left-side member vertices (no materialisation)."""
+        return len(self.left_members)
+
+    @property
+    def num_right(self) -> int:
+        """Number of right-side member vertices (no materialisation)."""
+        return len(self.right_members)
+
+    @property
+    def min_side(self) -> int:
+        """``min(|L|, |R|)`` of the member sets — the Lemma size-test input."""
+        return min(len(self.left_members), len(self.right_members))
+
+    @property
     def size(self) -> int:
         """Number of vertices of the centred subgraph."""
-        return self.graph.num_vertices
+        return len(self.left_members) + len(self.right_members)
 
     @property
     def density(self) -> float:
         """Edge density of the centred subgraph (Figure 6 metric)."""
-        return self.graph.density
+        return self.to_bitgraph().density
+
+    @property
+    def graph(self) -> BipartiteGraph:
+        """The centred subgraph as a :class:`BipartiteGraph` (lazy, cached).
+
+        Only the ``sets`` ablation path pays for this materialisation; the
+        default bitset pipeline goes straight to :meth:`to_bitgraph`.
+        """
+        if self._graph is None:
+            self._graph = self.parent.induced_subgraph(
+                self.left_members, self.right_members
+            )
+        return self._graph
 
     def to_bitgraph(self) -> IndexedBitGraph:
         """The centred subgraph as an :class:`IndexedBitGraph` (cached).
 
-        The verification stage (Algorithm 8) consumes centred subgraphs in
-        bitset form: core reduction and the exhaustive search then operate
-        on masks and never materialise further ``BipartiteGraph`` copies.
+        Built directly from the parent graph restricted to the member sets
+        — no intermediate :class:`BipartiteGraph` copy.  The bridging stage
+        (Algorithm 6) runs its core prunes and local heuristic on this
+        object and the verification stage (Algorithm 8) then searches the
+        *same* cached instance, so each surviving subgraph is indexed
+        exactly once per solve.
         """
         if self._bitgraph is None:
-            self._bitgraph = IndexedBitGraph.from_bipartite(self.graph)
+            self._bitgraph = IndexedBitGraph.from_bipartite(
+                self.parent, self.left_members, self.right_members
+            )
         return self._bitgraph
 
 
@@ -77,33 +128,55 @@ def vertex_centred_subgraph(
 
     ``later`` maps every vertex key to its position in the total order; a
     vertex participates when its position is strictly greater than
-    ``position`` (the centre's own position).
+    ``position`` (the centre's own position).  Only the member sets are
+    computed here; see :class:`VertexCentredSubgraph` for the lazy graph
+    forms.
+    """
+    left_pos = {label: pos for (side, label), pos in later.items() if side == LEFT}
+    right_pos = {label: pos for (side, label), pos in later.items() if side == RIGHT}
+    return _vertex_centred_subgraph(graph, center, left_pos, right_pos, position)
+
+
+def _vertex_centred_subgraph(
+    graph: BipartiteGraph,
+    center: VertexKey,
+    left_pos: Dict[Vertex, int],
+    right_pos: Dict[Vertex, int],
+    position: int,
+) -> VertexCentredSubgraph:
+    """Member-set construction with per-side position tables.
+
+    Splitting the position map by side turns the hot inner-loop lookup
+    from a tuple-key hash (build the tuple, hash two elements) into a
+    plain label lookup; generation runs once per vertex of the residual
+    graph, so this shows up in the S2 profile.
     """
     side, label = center
     if side == LEFT:
         right_members = {
-            v
-            for v in graph.neighbors_left(label)
-            if later[(RIGHT, v)] > position
+            v for v in graph.neighbors_left(label) if right_pos[v] > position
         }
         left_members = {label}
         for v in right_members:
             for u in graph.neighbors_right(v):
-                if u != label and later[(LEFT, u)] > position:
+                if u != label and left_pos[u] > position:
                     left_members.add(u)
     else:
         left_members = {
-            u
-            for u in graph.neighbors_right(label)
-            if later[(LEFT, u)] > position
+            u for u in graph.neighbors_right(label) if left_pos[u] > position
         }
         right_members = {label}
         for u in left_members:
             for v in graph.neighbors_left(u):
-                if v != label and later[(RIGHT, v)] > position:
+                if v != label and right_pos[v] > position:
                     right_members.add(v)
-    sub = graph.induced_subgraph(left_members, right_members)
-    return VertexCentredSubgraph(center=center, graph=sub, position=position)
+    return VertexCentredSubgraph(
+        center=center,
+        position=position,
+        left_members=left_members,
+        right_members=right_members,
+        parent=graph,
+    )
 
 
 def iter_vertex_centred_subgraphs(
@@ -113,11 +186,19 @@ def iter_vertex_centred_subgraphs(
     """Yield the centred subgraph of every vertex, following ``order``.
 
     Subgraphs are produced lazily so callers (``bridgeMBB``) can prune them
-    one by one without materialising the whole family.
+    one by one without materialising the whole family — and, since each
+    yielded object carries only its member sets, a subgraph killed by the
+    trivial size test never materialises any induced-subgraph form at all.
     """
-    positions = {key: index for index, key in enumerate(order)}
+    left_pos: Dict[Vertex, int] = {}
+    right_pos: Dict[Vertex, int] = {}
+    for index, (side, label) in enumerate(order):
+        if side == LEFT:
+            left_pos[label] = index
+        else:
+            right_pos[label] = index
     for index, key in enumerate(order):
-        yield vertex_centred_subgraph(graph, key, positions, index)
+        yield _vertex_centred_subgraph(graph, key, left_pos, right_pos, index)
 
 
 def total_subgraph_size(graph: BipartiteGraph, order: Sequence[VertexKey]) -> int:
@@ -137,6 +218,8 @@ def subgraph_density_profile(
     """
     densities: List[float] = []
     for sub in iter_vertex_centred_subgraphs(graph, order):
-        if sub.graph.num_left > 0 and sub.graph.num_right > 0 and sub.graph.num_edges > 0:
-            densities.append(sub.density)
+        if sub.num_left > 0 and sub.num_right > 0:
+            density = sub.density
+            if density > 0.0:
+                densities.append(density)
     return densities

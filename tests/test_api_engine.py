@@ -108,6 +108,46 @@ class TestCooperativeCancellation:
         )
         assert not result.optimal
 
+    def test_checkpoint_enforces_budgets_without_node_stats(self):
+        import time
+
+        context = SearchContext()
+        context.checkpoint()  # no budgets set: a no-op
+        assert context.stats.nodes == 0
+        context.deadline = time.perf_counter() - 1.0
+        with pytest.raises(SearchAborted):
+            context.checkpoint()
+        assert context.aborted
+        assert context.stats.nodes == 0
+
+    def test_engine_deadline_aborts_during_s2(self):
+        # Regression: engine deadlines used to be polled only inside the
+        # dense kernel (S3), so a request whose budget expired during the
+        # bridging stage claimed optimality.  With the heuristic stage
+        # disabled, the first checkpoint that can observe the expired
+        # deadline is S2's.
+        from repro.graph.generators import random_power_law_bipartite
+        from repro.mbb.sparse import SparseConfig
+
+        graph = random_power_law_bipartite(40, 40, 3.0, seed=2)
+        result = MBBEngine().solve_graph(
+            graph,
+            backend="sparse",
+            time_budget=0.0,
+            sparse_config=SparseConfig(use_heuristic=False),
+        )
+        assert not result.optimal
+        assert result.terminated_at == "S2"
+
+    def test_engine_deadline_aborts_during_s1(self):
+        result = MBBEngine().solve_graph(
+            random_bipartite(20, 20, 0.4, seed=3),
+            backend="sparse",
+            time_budget=0.0,
+        )
+        assert not result.optimal
+        assert result.terminated_at == "S1"
+
     def test_cancelled_search_keeps_incumbent(self):
         graph = random_bipartite(16, 16, 0.7, seed=4)
         baseline = solve_mbb(graph)

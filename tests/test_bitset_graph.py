@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
-from repro.graph.bipartite import BipartiteGraph
-from repro.graph.bitset import IndexedBitGraph, iter_bits, k_core_masks
-from repro.graph.generators import complete_bipartite, crown_graph, random_bipartite
-from repro.cores.core import k_core
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.bitset import (
+    IndexedBitGraph,
+    core_numbers_masks,
+    degeneracy_of_mask,
+    iter_bits,
+    k_core_masks,
+)
+from repro.graph.generators import (
+    complete_bipartite,
+    crown_graph,
+    random_bipartite,
+    random_power_law_bipartite,
+)
+from repro.cores.core import core_numbers, degeneracy, k_core
 
 
 class TestIterBits:
@@ -104,3 +117,58 @@ class TestKCoreMasks:
         left_mask, right_mask = k_core_masks(bitgraph, 6)
         assert left_mask == 0
         assert right_mask == 0
+
+
+class TestCoreNumbersMasks:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_set_based_core_numbers(self, seed):
+        graph = random_bipartite(12, 14, 0.3, seed=seed)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        core_left, core_right = core_numbers_masks(bitgraph)
+        reference = core_numbers(graph)
+        for i, label in enumerate(bitgraph.left_labels):
+            assert core_left[i] == reference[(LEFT, label)]
+        for j, label in enumerate(bitgraph.right_labels):
+            assert core_right[j] == reference[(RIGHT, label)]
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_restriction_matches_induced_subgraph(self, seed):
+        graph = random_bipartite(14, 14, 0.3, seed=seed)
+        rng = random.Random(seed)
+        left = {u for u in graph.left_vertices() if rng.random() < 0.7}
+        right = {v for v in graph.right_vertices() if rng.random() < 0.7}
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        left_mask = bitgraph.left_mask(left)
+        right_mask = bitgraph.right_mask(right)
+        core_left, core_right = core_numbers_masks(bitgraph, left_mask, right_mask)
+        reference = core_numbers(graph.induced_subgraph(left, right))
+        for i in iter_bits(left_mask):
+            assert core_left[i] == reference[(LEFT, bitgraph.left_labels[i])]
+        for j in iter_bits(right_mask):
+            assert core_right[j] == reference[(RIGHT, bitgraph.right_labels[j])]
+        assert degeneracy_of_mask(bitgraph, left_mask, right_mask) == degeneracy(
+            graph.induced_subgraph(left, right)
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_degeneracy_of_mask_matches_set_based(self, seed):
+        graph = random_power_law_bipartite(30, 30, 2.5, seed=seed)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        assert degeneracy_of_mask(bitgraph) == degeneracy(graph)
+
+    def test_complete_graph_core_numbers(self):
+        bitgraph = IndexedBitGraph.from_bipartite(complete_bipartite(4, 6))
+        core_left, core_right = core_numbers_masks(bitgraph)
+        assert core_left == [4] * 4
+        assert core_right == [4] * 6
+        assert degeneracy_of_mask(bitgraph) == 4
+
+    def test_empty_graph_and_empty_restriction(self):
+        empty = IndexedBitGraph.from_bipartite(BipartiteGraph())
+        assert core_numbers_masks(empty) == ([], [])
+        assert degeneracy_of_mask(empty) == 0
+        bitgraph = IndexedBitGraph.from_bipartite(complete_bipartite(3, 3))
+        core_left, core_right = core_numbers_masks(bitgraph, 0, 0)
+        assert core_left == [0] * 3
+        assert core_right == [0] * 3
+        assert degeneracy_of_mask(bitgraph, 0, 0) == 0

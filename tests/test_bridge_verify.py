@@ -4,16 +4,20 @@ from __future__ import annotations
 
 import pytest
 
+from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.generators import (
     complete_bipartite,
     grid_union_of_bicliques,
     planted_balanced_biclique,
     random_bipartite,
+    random_power_law_bipartite,
 )
+from repro.cores.core import degeneracy
 from repro.cores.orders import ORDER_BIDEGENERACY, ORDER_DEGREE
 from repro.mbb.bridge import bridge_mbb
 from repro.mbb.context import SearchContext
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
 from repro.mbb.verify import verify_mbb
 from repro.baselines.brute_force import brute_force_side_size
 
@@ -63,6 +67,109 @@ class TestBridgeMBB:
             outcome = bridge_mbb(graph, context, order=order_name)
             verify_mbb(outcome.surviving, context)
             assert context.best_side == optimum
+
+
+class TestBridgeKernels:
+    """Property tests: the bits and sets S2 kernels are interchangeable."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_surviving_subgraphs_identical(self, seed):
+        graph = random_bipartite(18, 18, 0.3, seed=seed)
+        context_bits = SearchContext()
+        context_sets = SearchContext()
+        bits = bridge_mbb(graph, context_bits, kernel=KERNEL_BITS)
+        sets = bridge_mbb(graph, context_sets, kernel=KERNEL_SETS)
+        assert [sub.center for sub in bits.surviving] == [
+            sub.center for sub in sets.surviving
+        ]
+        assert context_bits.best == context_sets.best
+        assert bits.local_heuristic_best == sets.local_heuristic_best
+        assert (
+            context_bits.stats.subgraphs_pruned
+            == context_sets.stats.subgraphs_pruned
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_surviving_subgraphs_identical_power_law(self, seed):
+        graph = random_power_law_bipartite(40, 40, 3.0, seed=seed)
+        context_bits = SearchContext()
+        context_sets = SearchContext()
+        bits = bridge_mbb(graph, context_bits, kernel=KERNEL_BITS)
+        sets = bridge_mbb(graph, context_sets, kernel=KERNEL_SETS)
+        assert [sub.center for sub in bits.surviving] == [
+            sub.center for sub in sets.surviving
+        ]
+        assert context_bits.best == context_sets.best
+
+    @pytest.mark.parametrize("kernel", [KERNEL_BITS, KERNEL_SETS])
+    def test_degeneracy_cached_on_survivors(self, kernel):
+        graph = random_bipartite(16, 16, 0.35, seed=9)
+        context = SearchContext()
+        outcome = bridge_mbb(graph, context, kernel=kernel)
+        for sub in outcome.surviving:
+            assert sub.degeneracy is not None
+            assert sub.degeneracy == degeneracy(sub.graph)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            bridge_mbb(random_bipartite(4, 4, 0.5, seed=1), SearchContext(), kernel="quantum")
+
+    def test_precomputed_order_matches_internal(self):
+        from repro.cores.orders import search_order
+
+        graph = random_bipartite(15, 15, 0.3, seed=4)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        with_order = bridge_mbb(graph, SearchContext(), total_order=order)
+        without = bridge_mbb(graph, SearchContext())
+        assert [sub.center for sub in with_order.surviving] == [
+            sub.center for sub in without.surviving
+        ]
+
+    def test_mismatched_precomputed_order_rejected(self):
+        from repro.cores.orders import search_order
+
+        graph = random_bipartite(10, 10, 0.4, seed=5)
+        other = random_bipartite(12, 12, 0.4, seed=6)
+        stale_order = search_order(other, ORDER_BIDEGENERACY)
+        with pytest.raises(InvalidParameterError):
+            bridge_mbb(graph, SearchContext(), total_order=stale_order)
+
+
+class TestBridgeBudgets:
+    def test_cancel_hook_mid_s2_aborts_within_one_subgraph(self):
+        graph = random_bipartite(25, 25, 0.3, seed=11)
+        context = SearchContext()
+        cutoff = 5
+        context.cancel_hook = (
+            lambda: context.stats.subgraphs_generated >= cutoff
+        )
+        outcome = bridge_mbb(graph, context)
+        assert context.aborted and context.cancelled
+        # The hook fired once `cutoff` subgraphs had been generated; the
+        # checkpoint before the next subgraph must be the last poll.
+        assert context.stats.subgraphs_generated == cutoff
+        assert outcome.best.is_valid_in(graph)
+
+    def test_checkpoint_does_not_inflate_node_stats(self):
+        graph = random_bipartite(15, 15, 0.3, seed=12)
+        context = SearchContext()
+        bridge_mbb(graph, context)
+        # Bridging only checkpoints; search nodes belong to S3.
+        assert context.stats.nodes == 0
+
+    def test_expired_deadline_aborts_immediately(self):
+        import time
+
+        graph = random_bipartite(15, 15, 0.3, seed=13)
+        context = SearchContext()
+        context.deadline = time.perf_counter() - 1.0
+        outcome = bridge_mbb(graph, context)
+        assert context.aborted
+        assert context.stats.subgraphs_generated == 0
+        # An aborted scan with no survivors is *not* exhaustion: subgraphs
+        # it never reached could still hold an improvement.
+        assert outcome.aborted
+        assert not outcome.exhausted
 
 
 class TestVerifyMBB:

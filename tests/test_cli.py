@@ -212,19 +212,49 @@ class TestBenchCommand:
         assert "bidegeneracy" in out
 
     def test_bench_kernels_writes_json(self, tmp_path, capsys):
+        # --smoke keeps this a smoke test: two dense cases plus one
+        # bridging-stage dataset (the CI workflow runs the same command).
         out_path = tmp_path / "kernels.json"
         exit_code = main(
-            ["bench", "kernels", "--time-budget", "0.05", "--write-json", str(out_path)]
+            [
+                "bench",
+                "kernels",
+                "--smoke",
+                "--time-budget",
+                "0.05",
+                "--write-json",
+                str(out_path),
+            ]
         )
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "speedup" in out or "kernel" in out
         document = json.loads(out_path.read_text(encoding="utf-8"))
         assert {row["kernel"] for row in document["rows"]} == {"bits", "sets"}
+        assert all(row["stage"] == "dense" for row in document["rows"])
+        # The S2 comparison ships alongside the dense rows.
+        assert {row["kernel"] for row in document["bridge_rows"]} == {"bits", "sets"}
+        assert all(row["stage"] == "bridge" for row in document["bridge_rows"])
+        stages = {row["stage"] for row in document["speedups"]}
+        assert stages == {"dense", "bridge"}
+
+    @pytest.mark.bench
+    def test_bench_kernels_full_sweep_reaches_side_48(self, tmp_path):
+        out_path = tmp_path / "kernels_full.json"
+        exit_code = main(
+            ["bench", "kernels", "--time-budget", "0.05", "--write-json", str(out_path)]
+        )
+        assert exit_code == 0
+        document = json.loads(out_path.read_text(encoding="utf-8"))
         # The extended dense suite reaches beyond side 40.
         assert any(row["size"] == "48x48" for row in document["rows"])
 
     def test_write_json_rejected_for_other_artefacts(self, capsys):
         exit_code = main(["bench", "figure6", "--write-json", "x.json"])
+        assert exit_code == 2
+        assert "kernels" in capsys.readouterr().err
+
+    def test_smoke_rejected_for_other_artefacts(self, capsys):
+        exit_code = main(["bench", "table4", "--smoke"])
         assert exit_code == 2
         assert "kernels" in capsys.readouterr().err

@@ -5,17 +5,20 @@ from __future__ import annotations
 import pytest
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.bitset import IndexedBitGraph
 from repro.graph.generators import (
     complete_bipartite,
     planted_balanced_biclique,
     random_bipartite,
     star_bipartite,
 )
-from repro.mbb.context import SearchContext
+from repro.mbb.context import SearchAborted, SearchContext
 from repro.mbb.heuristics import (
     core_heuristic,
+    core_heuristic_bits,
     degree_heuristic,
     greedy_extend,
+    greedy_extend_bits,
     h_mbb,
 )
 from repro.baselines.brute_force import brute_force_side_size
@@ -71,6 +74,65 @@ class TestSeededHeuristics:
     def test_top_r_one_still_works(self):
         graph = random_bipartite(10, 10, 0.5, seed=3)
         assert degree_heuristic(graph, top_r=1).is_balanced
+
+
+class TestBitsetHeuristics:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_greedy_extend_bits_matches_sets(self, seed):
+        """Identical tie-breaking: both kernels grow the same biclique."""
+        graph = random_bipartite(12, 12, 0.4, seed=seed)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        for side in (LEFT, RIGHT):
+            labels = bitgraph.left_labels if side == LEFT else bitgraph.right_labels
+            for index, label in enumerate(labels[:4]):
+                expected = greedy_extend(graph, side, label)
+                assert greedy_extend_bits(bitgraph, side, index) == expected
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_core_heuristic_bits_matches_sets(self, seed):
+        graph = random_bipartite(14, 14, 0.35, seed=seed)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        assert core_heuristic_bits(bitgraph) == core_heuristic(graph)
+
+    def test_core_heuristic_bits_on_planted_graph(self):
+        graph = planted_balanced_biclique(40, 40, 6, background_density=0.02, seed=3)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        result = core_heuristic_bits(bitgraph, top_r=6)
+        assert result.side_size >= 5
+        assert result.is_valid_in(graph)
+
+    def test_greedy_extend_bits_validity(self):
+        graph = random_bipartite(10, 10, 0.5, seed=2)
+        bitgraph = IndexedBitGraph.from_bipartite(graph)
+        result = greedy_extend_bits(bitgraph, LEFT, 0)
+        assert result.is_balanced
+        assert result.is_valid_in(graph)
+
+
+class TestHeuristicBudgets:
+    def test_degree_heuristic_checkpoint_aborts(self):
+        graph = random_bipartite(10, 10, 0.4, seed=1)
+        context = SearchContext()
+        context.cancel()
+        with pytest.raises(SearchAborted):
+            degree_heuristic(graph, context=context)
+
+    def test_h_mbb_returns_incumbent_on_abort(self):
+        graph = random_bipartite(20, 20, 0.4, seed=2)
+        context = SearchContext()
+        seeds_tried = []
+        context.cancel_hook = lambda: len(seeds_tried) >= 2 or bool(
+            seeds_tried.append(None)
+        )
+        outcome = h_mbb(graph, context=context)
+        assert context.aborted
+        assert not outcome.proven_optimal
+        assert outcome.best.is_valid_in(graph)
+        # The two seeds that completed before the hook fired offered their
+        # bicliques to the shared incumbent; aborting the third seed must
+        # not discard that work.
+        assert outcome.best.side_size > 0
+        assert context.best_side == outcome.best.side_size
 
 
 class TestHMBB:

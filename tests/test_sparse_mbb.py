@@ -12,6 +12,8 @@ from repro.graph.generators import (
     random_bipartite,
     random_power_law_bipartite,
 )
+from repro.mbb.context import SearchContext
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
 from repro.mbb.result import STEP_BRIDGE, STEP_HEURISTIC, STEP_VERIFY
 from repro.mbb.sparse import (
     CONFIG_FULL,
@@ -96,6 +98,68 @@ class TestVariants:
         from repro.mbb.dense import BRANCH_NAIVE
 
         assert variant("bd3").branching == BRANCH_NAIVE
+
+
+class TestKernelSelection:
+    """``SparseConfig.kernel`` governs both the bridging and verification stages."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_kernels_return_identical_results(self, seed):
+        graph = random_bipartite(12, 12, 0.4, seed=seed)
+        bits = hbv_mbb(graph, config=SparseConfig(kernel=KERNEL_BITS))
+        sets = hbv_mbb(graph, config=SparseConfig(kernel=KERNEL_SETS))
+        assert bits.side_size == sets.side_size
+        assert bits.biclique == sets.biclique
+        assert bits.optimal and sets.optimal
+        assert bits.terminated_at == sets.terminated_at
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_kernels_agree_on_power_law_graphs(self, seed):
+        graph = random_power_law_bipartite(35, 35, 2.5, seed=seed)
+        bits = hbv_mbb(graph, config=SparseConfig(kernel=KERNEL_BITS))
+        sets = hbv_mbb(graph, config=SparseConfig(kernel=KERNEL_SETS))
+        assert bits.side_size == sets.side_size
+
+
+class TestStageBudgets:
+    """Budgets fire in S1/S2, not just inside the dense kernel (S3)."""
+
+    def test_cancel_mid_s2_reports_best_effort_not_exhaustion(self):
+        # Seed 0 is one where S1 neither proves optimality nor empties the
+        # residual graph, so the bridging stage actually runs.
+        graph = random_power_law_bipartite(40, 40, 3.0, seed=0)
+        context = SearchContext()
+        # Fire once the bridging stage has generated a few subgraphs; S1
+        # does not touch this counter, so the hook cannot fire earlier.
+        context.cancel_hook = lambda: context.stats.subgraphs_generated >= 3
+        result = hbv_mbb(graph, context=context)
+        assert not result.optimal
+        assert result.terminated_at == STEP_BRIDGE
+        assert context.stats.subgraphs_generated == 3
+        assert result.biclique.is_valid_in(graph)
+
+    def test_cancel_before_s1_reports_heuristic_stage(self):
+        graph = random_bipartite(10, 10, 0.4, seed=4)
+        context = SearchContext()
+        context.cancel()
+        result = hbv_mbb(graph, context=context)
+        assert not result.optimal
+        assert result.terminated_at == STEP_HEURISTIC
+
+    def test_expired_deadline_aborts_during_s2_for_bd1(self):
+        import time
+
+        # With the heuristic stage disabled the first checkpoint that can
+        # observe the expired deadline is S2's; the solve must still return
+        # a (trivial) best-effort result instead of claiming optimality.
+        graph = random_bipartite(15, 15, 0.3, seed=5)
+        context = SearchContext()
+        context.deadline = time.perf_counter() - 1.0
+        result = hbv_mbb(
+            graph, config=SparseConfig(use_heuristic=False), context=context
+        )
+        assert not result.optimal
+        assert result.terminated_at == STEP_BRIDGE
 
 
 class TestSparseConfigOptions:

@@ -70,6 +70,38 @@ class TestCoveringProperty:
         assert best_in_family == optimum
 
 
+class TestLaziness:
+    def test_generation_materialises_nothing(self):
+        graph = random_bipartite(10, 10, 0.4, seed=6)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        for sub in iter_vertex_centred_subgraphs(graph, order):
+            # Member counts and the size test must not build either graph form.
+            assert sub.min_side == min(sub.num_left, sub.num_right)
+            assert sub.size == sub.num_left + sub.num_right
+            assert sub._graph is None
+            assert sub._bitgraph is None
+
+    def test_graph_property_matches_members_and_caches(self):
+        graph = random_bipartite(8, 8, 0.5, seed=7)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        for sub in iter_vertex_centred_subgraphs(graph, order):
+            materialised = sub.graph
+            assert materialised is sub.graph  # cached
+            assert materialised.left == sub.left_members
+            assert materialised.right == sub.right_members
+
+    def test_bitgraph_matches_graph_and_caches(self):
+        graph = random_bipartite(8, 8, 0.5, seed=8)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        for sub in iter_vertex_centred_subgraphs(graph, order):
+            bitgraph = sub.to_bitgraph()
+            assert sub.to_bitgraph() is bitgraph  # cached; S3 reuses S2's copy
+            assert set(bitgraph.left_labels) == sub.left_members
+            assert set(bitgraph.right_labels) == sub.right_members
+            assert bitgraph.num_edges == sub.graph.num_edges
+            assert sub.density == sub.graph.density
+
+
 class TestSizeBounds:
     def test_total_size_bound_for_bidegeneracy_order(self):
         """Lemma 8: total size is O((|L|+|R|) * bidegeneracy)."""
