@@ -70,10 +70,12 @@ from repro.graph import (
     LEFT,
     RIGHT,
     BipartiteGraph,
+    CSRBipartite,
     IndexedBitGraph,
     bipartite_complement,
 )
 from repro.cores import (
+    bicore_decomposition,
     bicore_numbers,
     bidegeneracy,
     bidegeneracy_order,
@@ -110,6 +112,7 @@ __all__ = [
     "__version__",
     # graph substrate
     "BipartiteGraph",
+    "CSRBipartite",
     "IndexedBitGraph",
     "LEFT",
     "RIGHT",
@@ -119,6 +122,7 @@ __all__ = [
     "degeneracy",
     "degeneracy_order",
     "k_core",
+    "bicore_decomposition",
     "bicore_numbers",
     "bidegeneracy",
     "bidegeneracy_order",

@@ -7,8 +7,9 @@ benchmark harness or a network server builds on:
   metadata (:func:`register_backend` / :func:`get_backend` /
   :func:`available_backends`);
 * :mod:`repro.api.request` — :class:`SolveRequest` / :class:`SolveReport`
-  dataclasses with lossless JSON round-trips, plus :class:`GraphSpec`
-  graph sources;
+  dataclasses with lossless JSON round-trips, :class:`GraphSpec` graph
+  sources, and the :func:`sweep_requests` dataset-sweep expander behind
+  ``repro-mbb sweep``;
 * :mod:`repro.api.engine` — the :class:`MBBEngine` facade with
   :meth:`~MBBEngine.solve` and the batch-parallel
   :meth:`~MBBEngine.solve_many`.
@@ -39,6 +40,7 @@ from repro.api.request import (
     GraphSpec,
     SolveReport,
     SolveRequest,
+    sweep_requests,
 )
 
 __all__ = [
@@ -53,5 +55,6 @@ __all__ = [
     "GraphSpec",
     "SolveRequest",
     "SolveReport",
+    "sweep_requests",
     "MBBEngine",
 ]

@@ -241,8 +241,9 @@ class SolveReport:
     optimal: bool
     terminated_at: Optional[str]
     elapsed_seconds: float
-    #: Full :class:`~repro.mbb.result.SearchStats` counters.
-    stats: Dict[str, int] = field(default_factory=dict)
+    #: Full :class:`~repro.mbb.result.SearchStats` counters (ints, plus
+    #: the float ``order_seconds`` ordering-overhead stage stat).
+    stats: Dict[str, float] = field(default_factory=dict)
     #: Backend that actually ran (``auto`` resolves to ``dense``/``sparse``).
     backend: str = "auto"
     kernel: str = KERNEL_BITS
@@ -345,3 +346,69 @@ class SolveReport:
     def from_json(cls, payload: str) -> "SolveReport":
         """Parse a report serialised with :meth:`to_json`."""
         return cls.from_dict(json.loads(payload))
+
+
+def sweep_requests(
+    datasets,
+    backends,
+    *,
+    kernel: str = KERNEL_BITS,
+    node_budget: Optional[int] = None,
+    time_budget: Optional[float] = None,
+    seed: int = 0,
+) -> list:
+    """Expand ``datasets x backends`` into a list of :class:`SolveRequest`.
+
+    This is the generator behind ``repro-mbb sweep``: it turns "all the
+    stand-ins with these backends" into the request array that
+    ``repro-mbb batch`` (and :meth:`MBBEngine.solve_many
+    <repro.api.engine.MBBEngine.solve_many>`) consume, so a fleet-style
+    dataset sweep is one command instead of a hand-written JSON file.
+    Every request is tagged ``"<dataset>:<backend>"`` so the reports
+    identify their cell without consulting the request's graph spec.
+
+    Dataset names are validated against the stand-in registry and backend
+    names against the solver registry up front, so a typo fails before a
+    single (potentially long) solve starts.  Budgets are only attached to
+    requests whose backend supports them (``supports_budgets`` in the
+    registry metadata): a sweep mixing exact solvers with budget-less
+    heuristics like ``mvb`` must not have every heuristic cell rejected —
+    and the whole batch with it — because of a budget meant for the
+    solvers.
+    """
+    from repro.api.registry import available_backends, get_backend
+    from repro.workloads.datasets import DATASETS
+
+    dataset_names = list(datasets)
+    backend_names = list(backends)
+    unknown_datasets = sorted(set(dataset_names) - set(DATASETS))
+    if unknown_datasets:
+        raise InvalidParameterError(
+            f"unknown datasets {unknown_datasets}; see 'repro-mbb datasets'"
+        )
+    unknown_backends = sorted(set(backend_names) - set(available_backends()))
+    if unknown_backends:
+        raise InvalidParameterError(
+            f"unknown backends {unknown_backends}; see 'repro-mbb backends'"
+        )
+    if not dataset_names or not backend_names:
+        raise InvalidParameterError(
+            "sweep needs at least one dataset and one backend"
+        )
+    budgeted = {
+        backend: get_backend(backend).info.supports_budgets
+        for backend in backend_names
+    }
+    return [
+        SolveRequest(
+            graph=GraphSpec.dataset(dataset),
+            backend=backend,
+            kernel=kernel,
+            node_budget=node_budget if budgeted[backend] else None,
+            time_budget=time_budget if budgeted[backend] else None,
+            seed=seed,
+            tag=f"{dataset}:{backend}",
+        )
+        for dataset in dataset_names
+        for backend in backend_names
+    ]

@@ -1,25 +1,34 @@
-"""Kernel comparison — bitset vs adjacency-set inner loops, per stage.
+"""Kernel comparison — flat/bitset vs set-keyed inner loops, per stage.
 
-Two comparisons are produced, both over the :data:`KERNELS` pair:
+Three comparisons are produced:
 
 * **dense rows** time :func:`repro.mbb.dense.dense_mbb` with both
-  branch-and-bound kernels on the Table 4 dense synthetic instances;
+  branch-and-bound kernels (:data:`KERNELS`) on the Table 4 dense
+  synthetic instances;
 * **bridge rows** time :func:`repro.mbb.bridge.bridge_mbb` — the sparse
   framework's S2 stage — with both kernels on the largest KONECT
   stand-ins, from the same precomputed bidegeneracy order and an empty
   incumbent (the ``bd1``-style worst case where every centred subgraph
   must be peeled).  Sharing the order isolates exactly the part of the
-  stage the ``kernel`` switch governs.
+  stage the ``kernel`` switch governs;
+* **peel rows** time the bidegeneracy order itself
+  (:func:`repro.cores.bicore.bicore_decomposition`) with the flat
+  two-level bucket engine against the set-keyed heap ablation
+  (:data:`PEEL_IMPLS`) on the same stand-ins — the stage's
+  kernel-independent fixed cost that the bridge rows deliberately factor
+  out.
 
-Both kernels run the same algorithm with the same tie-breaking, so dense
-rows find the same optimum (node counts differ by a few percent) and
-bridge rows keep the same surviving subgraphs; the time ratio therefore
-isolates the data-structure effect: hash-set intersections and dict-keyed
-bucket peels vs single ``&``/``bit_count`` operations on packed integers.
+Each pair runs the same algorithm with the same tie-breaking, so dense
+rows find the same optimum (node counts differ by a few percent), bridge
+rows keep the same surviving subgraphs, and peel rows produce the
+identical vertex order; the time ratios therefore isolate the
+data-structure effect: hash-set intersections, dict-keyed peels and tuple
+heap entries vs flat int arrays and single ``&``/``bit_count`` operations
+on packed integers.
 
 The resulting rows are archived as ``BENCH_kernels.json`` at the repository
-root so regressions of the bitset kernels are caught by comparing against
-the committed baseline.
+root so regressions of the flat/bitset implementations are caught by
+comparing against the committed baseline.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.harness import format_table, run_backend, timed
+from repro.cores.bicore import IMPL_BUCKET, IMPL_HEAP, bicore_decomposition
 from repro.cores.orders import ORDER_BIDEGENERACY, search_order
 from repro.mbb.bridge import bridge_mbb
 from repro.mbb.context import SearchContext
@@ -70,7 +80,20 @@ DEFAULT_BRIDGE_DATASETS = (
 #: Single small stand-in for CI smoke runs of the bridge comparison.
 SMOKE_BRIDGE_DATASETS = ("unicodelang",)
 
+#: Stand-ins for the bidegeneracy-peel comparison: the same largest tough
+#: datasets the bridge rows use, where the ``N_{<=2}`` volume ``M`` is
+#: greatest and the ordering overhead dominated the bridging stage before
+#: the flat bucket engine landed.
+DEFAULT_PEEL_DATASETS = DEFAULT_BRIDGE_DATASETS
+
+#: Single small stand-in for CI smoke runs of the peel comparison.
+SMOKE_PEEL_DATASETS = ("unicodelang",)
+
 KERNELS = (KERNEL_SETS, KERNEL_BITS)
+
+#: Peel engines compared by the peel rows: set-keyed heap (baseline
+#: ablation) vs the flat two-level bucket engine (default).
+PEEL_IMPLS = (IMPL_HEAP, IMPL_BUCKET)
 
 
 def run_kernel_case(
@@ -186,6 +209,76 @@ def run_bridge_comparison(
     return rows
 
 
+def run_peel_case(
+    dataset: str,
+    *,
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Time the bidegeneracy peel with both engines on one stand-in.
+
+    Each engine computes the full decomposition end to end — including the
+    ``N_{<=2}`` materialisation it consumes (dict-of-sets for the heap,
+    CSR flat arrays for the bucket) — because that whole pipeline is the
+    "bidegeneracy-order cost" a solve actually pays; the engines share
+    nothing, so the ratio reflects exactly what switching ``impl=`` buys.
+    The minimum over ``repeats`` runs is reported (sub-second
+    measurements); ``time_budget`` caps the *repeat* loop per engine (the
+    decomposition itself is not interruptible — it must finish to have an
+    order to compare — so each engine always completes at least one run).
+    Both engines must produce the identical peel order — the property the
+    test suite guarantees — and the row records that the archived run
+    verified it too.
+    """
+    graph = load_dataset(dataset)
+    rows: List[Dict[str, object]] = []
+    orders: Dict[str, List[object]] = {}
+    for impl in PEEL_IMPLS:
+        best_seconds = float("inf")
+        bideg = 0
+        spent = 0.0
+        for _ in range(max(1, repeats)):
+            (numbers, order), elapsed = timed(
+                bicore_decomposition, graph, impl=impl
+            )
+            best_seconds = min(best_seconds, elapsed)
+            bideg = max(numbers.values(), default=0)
+            orders[impl] = order
+            spent += elapsed
+            if time_budget is not None and spent >= time_budget:
+                break
+        rows.append(
+            {
+                "stage": "peel",
+                "size": dataset,
+                "density": round(graph.density, 5),
+                "impl": impl,
+                "seconds": best_seconds,
+                "vertices": graph.num_vertices,
+                "bidegeneracy": bideg,
+            }
+        )
+    orders_match = orders[IMPL_HEAP] == orders[IMPL_BUCKET]
+    for row in rows:
+        row["orders_match"] = orders_match
+    return rows
+
+
+def run_peel_comparison(
+    datasets: Sequence[str] = DEFAULT_PEEL_DATASETS,
+    *,
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Produce all peel rows, one per (dataset, impl)."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(
+            run_peel_case(dataset, repeats=repeats, time_budget=time_budget)
+        )
+    return rows
+
+
 def run_kernel_comparison(
     cases: Sequence[DenseCase] = DEFAULT_KERNEL_CASES,
     *,
@@ -201,6 +294,41 @@ def run_kernel_comparison(
     return rows
 
 
+def _paired_cases(
+    rows: Sequence[Dict[str, object]],
+    pair_field: str,
+    baseline: str,
+    fast: str,
+) -> List[tuple]:
+    """Group rows into complete (stage, size, density) comparison pairs.
+
+    Returns ``(stage, size, density, baseline_seconds, fast_seconds,
+    baseline_row, fast_row)`` tuples, one per case in which both sides of
+    the ``pair_field`` comparison are present — the shared skeleton of
+    every speedup summary, so the pairing logic exists exactly once.
+    """
+    by_case: Dict[tuple, Dict[str, Dict[str, object]]] = {}
+    for row in rows:
+        key = (row.get("stage", "dense"), row["size"], row["density"])
+        by_case.setdefault(key, {})[str(row[pair_field])] = row
+    result: List[tuple] = []
+    for (stage, size, density), pair in by_case.items():
+        if baseline not in pair or fast not in pair:
+            continue
+        result.append(
+            (
+                stage,
+                size,
+                density,
+                float(pair[baseline]["seconds"]),  # type: ignore[arg-type]
+                float(pair[fast]["seconds"]),  # type: ignore[arg-type]
+                pair[baseline],
+                pair[fast],
+            )
+        )
+    return result
+
+
 def speedups(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
     """Per-case ``sets seconds / bits seconds`` ratios.
 
@@ -210,45 +338,64 @@ def speedups(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
     meaningless (when ``bits`` did) rather than a measurement, and the
     committed-baseline comparison must not treat it as one.
     """
-    by_case: Dict[tuple, Dict[str, Dict[str, object]]] = {}
-    for row in rows:
-        key = (row.get("stage", "dense"), row["size"], row["density"])
-        by_case.setdefault(key, {})[str(row["kernel"])] = row
-    result: List[Dict[str, object]] = []
-    for (stage, size, density), pair in by_case.items():
-        if KERNEL_SETS not in pair or KERNEL_BITS not in pair:
-            continue
-        sets_s = float(pair[KERNEL_SETS]["seconds"])  # type: ignore[arg-type]
-        bits_s = float(pair[KERNEL_BITS]["seconds"])  # type: ignore[arg-type]
-        result.append(
-            {
-                "stage": stage,
-                "size": size,
-                "density": density,
-                "sets_seconds": sets_s,
-                "bits_seconds": bits_s,
-                "speedup": sets_s / bits_s if bits_s > 0 else float("inf"),
-                "timed_out": bool(
-                    pair[KERNEL_SETS].get("timed_out")
-                    or pair[KERNEL_BITS].get("timed_out")
-                ),
-            }
+    return [
+        {
+            "stage": stage,
+            "size": size,
+            "density": density,
+            "sets_seconds": sets_s,
+            "bits_seconds": bits_s,
+            "speedup": sets_s / bits_s if bits_s > 0 else float("inf"),
+            "timed_out": bool(
+                sets_row.get("timed_out") or bits_row.get("timed_out")
+            ),
+        }
+        for stage, size, density, sets_s, bits_s, sets_row, bits_row in (
+            _paired_cases(rows, "kernel", KERNEL_SETS, KERNEL_BITS)
         )
-    return result
+    ]
+
+
+def peel_speedups(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per-dataset ``heap seconds / bucket seconds`` ratios for peel rows."""
+    return [
+        {
+            "stage": stage,
+            "size": size,
+            "density": density,
+            "heap_seconds": heap_s,
+            "bucket_seconds": bucket_s,
+            "speedup": heap_s / bucket_s if bucket_s > 0 else float("inf"),
+            "orders_match": bool(bucket_row.get("orders_match")),
+        }
+        for stage, size, density, heap_s, bucket_s, _, bucket_row in (
+            _paired_cases(rows, "impl", IMPL_HEAP, IMPL_BUCKET)
+        )
+    ]
 
 
 def format_kernel_comparison(
     rows: Sequence[Dict[str, object]],
     bridge_rows: Sequence[Dict[str, object]] = (),
+    peel_rows: Sequence[Dict[str, object]] = (),
 ) -> str:
-    """Render raw rows (dense, then bridge) plus the speedup summaries."""
+    """Render raw rows (dense, bridge, peel) plus the speedup summaries."""
     summary = speedups(list(rows) + list(bridge_rows))
     sections = [format_table(list(rows))]
     if bridge_rows:
         sections.append(format_table(list(bridge_rows)))
+    if peel_rows:
+        sections.append(format_table(list(peel_rows)))
     sections.append(
         format_table(summary) if summary else "(no complete kernel pairs)"
     )
+    if peel_rows:
+        peel_summary = peel_speedups(peel_rows)
+        sections.append(
+            format_table(peel_summary)
+            if peel_summary
+            else "(no complete peel pairs)"
+        )
     return "\n\n".join(sections)
 
 
@@ -256,12 +403,15 @@ def write_benchmark_json(
     rows: Sequence[Dict[str, object]],
     path: str,
     bridge_rows: Sequence[Dict[str, object]] = (),
+    peel_rows: Sequence[Dict[str, object]] = (),
 ) -> None:
     """Archive comparison rows (plus speedups) as a JSON document."""
     document = {
         "rows": list(rows),
         "bridge_rows": list(bridge_rows),
+        "peel_rows": list(peel_rows),
         "speedups": speedups(list(rows) + list(bridge_rows)),
+        "peel_speedups": peel_speedups(peel_rows),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)

@@ -8,6 +8,9 @@ any Python:
   :class:`~repro.api.SolveReport`;
 * ``repro-mbb batch`` — run a JSON file of solve requests through the
   engine's process-pool executor and emit the reports as JSON;
+* ``repro-mbb sweep`` — expand "these dataset stand-ins x these backends"
+  into a batch request file, so a fleet-style sweep is
+  ``repro-mbb sweep ... | repro-mbb batch -``;
 * ``repro-mbb backends`` — list the registered solver backends and their
   capabilities;
 * ``repro-mbb generate`` — write a synthetic bipartite graph to an edge list;
@@ -35,12 +38,13 @@ from repro.api import (
     SolveRequest,
     available_backends,
     backend_infos,
+    sweep_requests,
 )
 from repro.exceptions import ReproError
 from repro.graph.generators import random_bipartite, random_power_law_bipartite
 from repro.graph.io import write_edge_list
 from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
-from repro.workloads.datasets import DATASETS
+from repro.workloads.datasets import DATASETS, TOUGH_DATASETS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -103,6 +107,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="write the JSON reports to a file instead of stdout"
     )
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="expand datasets x backends into a batch request file",
+    )
+    sweep.add_argument(
+        "--datasets",
+        default="all",
+        help="'all', 'tough', or a comma-separated list of stand-in names "
+        "(default: all)",
+    )
+    sweep.add_argument(
+        "--backends",
+        default="sparse",
+        help="comma-separated registered backend names (default: sparse)",
+    )
+    sweep.add_argument(
+        "--kernel",
+        default=KERNEL_BITS,
+        choices=[KERNEL_BITS, KERNEL_SETS],
+        help="kernel recorded in every generated request",
+    )
+    sweep.add_argument(
+        "--node-budget", type=int, default=None, help="per-request node budget"
+    )
+    sweep.add_argument(
+        "--time-budget", type=float, default=None, help="per-request seconds budget"
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=0, help="seed recorded in every request"
+    )
+    sweep.add_argument(
+        "--output",
+        default=None,
+        help="write the request file here instead of stdout (feed either to "
+        "'repro-mbb batch')",
+    )
+
     backends = subparsers.add_parser(
         "backends", help="list the registered solver backends"
     )
@@ -141,7 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="kernels artefact only: run a reduced sweep (two dense cases, "
-        "one bridge dataset) suitable for CI smoke checks",
+        "one bridge dataset, one peel dataset) suitable for CI smoke checks",
     )
     return parser
 
@@ -216,6 +257,37 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.datasets == "all":
+        datasets = list(DATASETS)
+    elif args.datasets == "tough":
+        datasets = list(TOUGH_DATASETS)
+    else:
+        datasets = [name.strip() for name in args.datasets.split(",") if name.strip()]
+    backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    requests = sweep_requests(
+        datasets,
+        backends,
+        kernel=args.kernel,
+        node_budget=args.node_budget,
+        time_budget=args.time_budget,
+        seed=args.seed,
+    )
+    document = json.dumps(
+        {"requests": [request.to_dict() for request in requests]}, indent=2
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        print(
+            f"wrote {len(requests)} requests ({len(datasets)} datasets x "
+            f"{len(backends)} backends) to {args.output}"
+        )
+    else:
+        print(document)
+    return 0
+
+
 def _command_backends(args: argparse.Namespace) -> int:
     infos = backend_infos()
     if args.json:
@@ -280,18 +352,25 @@ def _command_bench(args: argparse.Namespace) -> int:
         if args.smoke:
             cases = kernels.SMOKE_KERNEL_CASES
             datasets = kernels.SMOKE_BRIDGE_DATASETS
+            peel_datasets = kernels.SMOKE_PEEL_DATASETS
             instances = 1
+            peel_repeats = 1
         else:
             cases = kernels.DEFAULT_KERNEL_CASES
             datasets = kernels.DEFAULT_BRIDGE_DATASETS
+            peel_datasets = kernels.DEFAULT_PEEL_DATASETS
             instances = 2
+            peel_repeats = 3
         rows = kernels.run_kernel_comparison(
             cases, instances=instances, time_budget=budget
         )
         bridge_rows = kernels.run_bridge_comparison(datasets, time_budget=budget)
-        print(kernels.format_kernel_comparison(rows, bridge_rows))
+        peel_rows = kernels.run_peel_comparison(
+            peel_datasets, repeats=peel_repeats, time_budget=budget
+        )
+        print(kernels.format_kernel_comparison(rows, bridge_rows, peel_rows))
         if args.write_json:
-            kernels.write_benchmark_json(rows, args.write_json, bridge_rows)
+            kernels.write_benchmark_json(rows, args.write_json, bridge_rows, peel_rows)
             print(f"\narchived rows to {args.write_json}")
     elif args.artefact == "table4":
         print(table4.format_table4(table4.run_table4(time_budget=budget, instances=1)))
@@ -311,6 +390,7 @@ def _command_bench(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "solve": _command_solve,
     "batch": _command_batch,
+    "sweep": _command_sweep,
     "backends": _command_backends,
     "generate": _command_generate,
     "datasets": _command_datasets,

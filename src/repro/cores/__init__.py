@@ -24,13 +24,20 @@ from repro.cores.core import (
 )
 from repro.cores.two_hop import (
     n2_neighbors,
+    n_le2_flat,
     n_le2_neighbors,
     n_le2_sizes,
 )
 from repro.cores.bicore import (
+    ALL_IMPLS,
+    IMPL_BUCKET,
+    IMPL_EXACT,
+    IMPL_HEAP,
+    bicore_decomposition,
     bicore_numbers,
     bidegeneracy,
     bidegeneracy_order,
+    residual_bicore_numbers,
 )
 from repro.cores.orders import (
     ORDER_BIDEGENERACY,
@@ -45,11 +52,18 @@ __all__ = [
     "degeneracy_order",
     "k_core",
     "n2_neighbors",
+    "n_le2_flat",
     "n_le2_neighbors",
     "n_le2_sizes",
+    "ALL_IMPLS",
+    "IMPL_BUCKET",
+    "IMPL_EXACT",
+    "IMPL_HEAP",
+    "bicore_decomposition",
     "bicore_numbers",
     "bidegeneracy",
     "bidegeneracy_order",
+    "residual_bicore_numbers",
     "ORDER_DEGREE",
     "ORDER_DEGENERACY",
     "ORDER_BIDEGENERACY",

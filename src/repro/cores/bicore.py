@@ -8,15 +8,46 @@ Algorithm 7, Lemma 10):
 * the **bidegeneracy** ``δ̈(G)`` is the maximum bicore number;
 * the **bidegeneracy order** peels vertices by smallest remaining
   ``|N_{<=2}|``, breaking ties by smallest remaining 1-hop degree — the
-  tie-break of Lemma 10, which guarantees that a peel step decreases each
-  remaining ``|N_{<=2}|`` by at most one and keeps the decomposition
-  linear in ``sum_u |N_{<=2}(u)|``.
+  tie-break of Lemma 10, which keeps the decomposition linear in
+  ``M = sum_u |N_{<=2}(u)|``.
 
-Two implementations are provided: the fast peeling of Algorithm 7
-(:func:`bicore_numbers` with ``exact=False``, the default) and a reference
-implementation that recomputes 2-hop neighbourhoods exactly after every
-removal (``exact=True``), used by tests on small graphs to validate the
-peeling.
+Three interchangeable implementations sit behind the ``impl=`` switch;
+all three peel the *materialised* ``N_{<=2}`` graph with the identical
+priority ``(|N_{<=2}|, 1-hop degree, vertex id)`` — the id being the
+position in the deterministic :class:`~repro.graph.csr.CSRBipartite`
+ordering (left before right, ``repr``-sorted per side) — so they produce
+the *same bicore numbers and the same peel order*:
+
+* :data:`IMPL_BUCKET` (the default): the flat engine of Algorithm 7.  The
+  graph is indexed once into CSR form, ``N_{<=2}`` is materialised as flat
+  int arrays (:func:`~repro.cores.two_hop.n_le2_flat`) and the peel runs
+  on a two-level bucket structure — level one indexed by remaining
+  ``|N_{<=2}|``, level two by remaining 1-hop degree — so every update is
+  O(1) bucket bookkeeping instead of a heap push.  Each ``(size, degree)``
+  cell is a vertex bitmask: clearing the lowest set bit pops the
+  smallest-id member, which is what realises the deterministic third-level
+  tie-break in one C-level integer operation, in the same packed-integer
+  idiom as the branch-and-bound kernels of :mod:`repro.graph.bitset`
+  (see :func:`_peel_bucket_flat` for the exact cost model).
+* :data:`IMPL_HEAP`: the pre-flat implementation, kept as the ablation
+  the ``peel_rows`` of ``BENCH_kernels.json`` measure against — a
+  lazy-deletion binary heap over the dict-of-sets ``N_{<=2}`` adjacency,
+  ``O(M log M)`` with heavy per-entry constants (tuple keys, hashing).
+* :data:`IMPL_EXACT`: the test oracle.  No decremented counters, no
+  bucket or heap: each step recounts every remaining ``|N_{<=2}(u)|`` and
+  1-hop degree among the survivors from scratch and takes the minimum,
+  ``O(n * M)``.  Because it shares the selection rule bit for bit, it
+  validates the fast peels' *orders*, not just their bicore numbers.
+
+Semantics note: the peel removes vertices from the ``N_{<=2}`` graph
+materialised once up front (each removal lowers a neighbour's count by
+exactly one).  Re-deriving 2-hop neighbourhoods on the *residual bipartite
+graph* instead is a subtly different process — removing a vertex can also
+sever 2-hop pairs it was the only common neighbour of, lowering a count by
+more than one — and can legitimately peel ties in a different order.  The
+two agree on bicore numbers and bidegeneracy on every graph we test;
+:func:`residual_bicore_numbers` keeps that re-deriving reference around
+precisely for that cross-check.
 """
 
 from __future__ import annotations
@@ -24,12 +55,184 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Set, Tuple
 
+from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
-from repro.cores.two_hop import n_le2_adjacency
+from repro.graph.csr import CSRBipartite
+from repro.cores.two_hop import n_le2_adjacency, n_le2_flat
 
 VertexKey = Tuple[str, Vertex]
 
+#: Flat two-level bucket peel (Algorithm 7), the default.
+IMPL_BUCKET = "bucket"
+#: Lazy-deletion heap over the dict-of-sets adjacency (ablation).
+IMPL_HEAP = "heap"
+#: Naive recount-everything oracle (tests only, ``O(n * M)``).
+IMPL_EXACT = "exact"
 
+#: All peel implementations, fastest first.
+ALL_IMPLS = (IMPL_BUCKET, IMPL_HEAP, IMPL_EXACT)
+
+
+def _tie_break(key: VertexKey) -> Tuple[str, str]:
+    """The canonical deterministic tie-break: ``(side, repr(label))``.
+
+    Comparing two keys by this tuple is exactly comparing their dense
+    :class:`CSRBipartite` ids, so the key-space peels (heap) and the
+    id-space peels (bucket, exact) break ties identically.
+    """
+    side, label = key
+    return (side, repr(label))
+
+
+# ----------------------------------------------------------------------
+# the flat engine (bucket peel and the id-space oracle)
+# ----------------------------------------------------------------------
+def _peel_bucket_flat(
+    csr: CSRBipartite, le2_ptr: List[int], le2: List[int]
+) -> Tuple[List[int], List[int]]:
+    """Two-level bucket peel over flat arrays; returns id-space results.
+
+    ``cells[s][d]`` is the bitmask of alive vertices with remaining
+    ``|N_{<=2}| == s`` and remaining 1-hop degree ``d``; ``deg_mask[s]``
+    is a bitmask over ``d`` marking the non-empty cells of level ``s``, so
+    the minimum occupied ``(s, d)`` cell is one lowest-set-bit extraction
+    away.  The level-one pointer ``s_ptr`` only ever backs up by one per
+    pop (a removal lowers a neighbour's size by exactly one), which is the
+    classic Batagelj-Zaveršnik amortisation: total pointer movement is
+    ``O(n + max |N_{<=2}|)``.
+
+    The vertex bitmasks are what buy the deterministic smallest-id
+    tie-break in O(1) *selections*; the price is that each cell update is
+    an ``n``-bit integer operation — ``O(n / 64)`` machine words in a
+    single C-level pass — so total work is ``O(M * n / 64)`` rather than
+    strictly ``O(M)``.  At the scales a pure-Python reproduction runs
+    (thousands of vertices, so a handful of words per update) the masks
+    are far cheaper than per-update heap pushes or linked-list cells with
+    an extra ordering structure; a production implementation at ``n`` in
+    the millions would swap the cells for intrusive doubly-linked lists
+    and give up the cross-impl order equality.
+    """
+    n = csr.num_vertices
+    num_left = csr.num_left
+    indptr = csr.indptr
+    size = [le2_ptr[i + 1] - le2_ptr[i] for i in range(n)]
+    deg = [indptr[i + 1] - indptr[i] for i in range(n)]
+
+    cells: Dict[int, Dict[int, int]] = {}
+    deg_mask: Dict[int, int] = {}
+    for i in range(n):
+        s, d = size[i], deg[i]
+        level = cells.setdefault(s, {})
+        cell = level.get(d, 0)
+        if not cell:
+            deg_mask[s] = deg_mask.get(s, 0) | (1 << d)
+        level[d] = cell | (1 << i)
+
+    alive = bytearray([1]) * n
+    bicore = [0] * n
+    order: List[int] = []
+    current = 0
+    s_ptr = 0
+    processed = 0
+    while processed < n:
+        mask = deg_mask.get(s_ptr, 0)
+        while not mask:
+            s_ptr += 1
+            mask = deg_mask.get(s_ptr, 0)
+        s = s_ptr
+        d = (mask & -mask).bit_length() - 1
+        level = cells[s]
+        cell = level[d]
+        i = (cell & -cell).bit_length() - 1  # smallest alive id in the cell
+        cell &= cell - 1
+        level[d] = cell
+        if not cell:
+            deg_mask[s] = mask & ~(1 << d)
+        if s > current:
+            current = s
+        bicore[i] = current
+        order.append(i)
+        alive[i] = 0
+        processed += 1
+        i_left = i < num_left
+        for j in le2[le2_ptr[i] : le2_ptr[i + 1]]:
+            if not alive[j]:
+                continue
+            sj = size[j]
+            dj = deg[j]
+            level = cells[sj]
+            cell = level[dj] & ~(1 << j)
+            level[dj] = cell
+            if not cell:
+                deg_mask[sj] &= ~(1 << dj)
+            sj -= 1
+            size[j] = sj
+            if i_left != (j < num_left):
+                dj -= 1
+                deg[j] = dj
+            level = cells.setdefault(sj, {})
+            cell = level.get(dj, 0)
+            if not cell:
+                deg_mask[sj] = deg_mask.get(sj, 0) | (1 << dj)
+            level[dj] = cell | (1 << j)
+        if s_ptr > 0:
+            s_ptr -= 1
+    return bicore, order
+
+
+def _peel_exact_flat(
+    csr: CSRBipartite, le2_ptr: List[int], le2: List[int]
+) -> Tuple[List[int], List[int]]:
+    """Oracle peel: recount every remaining key from scratch per step.
+
+    Recounting needs no side information, no decremented counters and no
+    selection structure, which is what makes it an independent oracle of
+    the bucket and heap peels.
+    """
+    n = csr.num_vertices
+    indptr = csr.indptr
+    indices = csr.indices
+    alive = bytearray([1]) * n
+    bicore = [0] * n
+    order: List[int] = []
+    current = 0
+    for _ in range(n):
+        best = None
+        for i in range(n):
+            if not alive[i]:
+                continue
+            s = sum(alive[j] for j in le2[le2_ptr[i] : le2_ptr[i + 1]])
+            d = sum(alive[j] for j in indices[indptr[i] : indptr[i + 1]])
+            candidate = (s, d, i)
+            if best is None or candidate < best:
+                best = candidate
+        assert best is not None
+        s, _, i = best
+        if s > current:
+            current = s
+        bicore[i] = current
+        order.append(i)
+        alive[i] = 0
+    return bicore, order
+
+
+def _peel_flat(
+    graph: BipartiteGraph, peel
+) -> Tuple[Dict[VertexKey, int], List[VertexKey]]:
+    """Run a flat-engine peel and translate ids back to vertex keys."""
+    csr = CSRBipartite.from_bipartite(graph)
+    le2_ptr, le2 = n_le2_flat(csr)
+    bicore, order = peel(csr, le2_ptr, le2)
+    keys = csr.keys
+    return (
+        {keys[i]: value for i, value in enumerate(bicore)},
+        [keys[i] for i in order],
+    )
+
+
+# ----------------------------------------------------------------------
+# the legacy heap peel (ablation)
+# ----------------------------------------------------------------------
 def _one_hop_degrees(graph: BipartiteGraph) -> Dict[VertexKey, int]:
     degrees: Dict[VertexKey, int] = {}
     for u in graph.left_vertices():
@@ -39,24 +242,23 @@ def _one_hop_degrees(graph: BipartiteGraph) -> Dict[VertexKey, int]:
     return degrees
 
 
-def _peel(
+def _peel_heap(
     graph: BipartiteGraph,
 ) -> Tuple[Dict[VertexKey, int], List[VertexKey]]:
-    """Shared peeling loop returning ``(bicore numbers, peel order)``.
+    """Set-keyed peeling loop returning ``(bicore numbers, peel order)``.
 
-    A lazy-deletion heap keyed by ``(|N_<=2|, |N|)`` implements the two
-    peeling conditions of Lemma 10.  Entries become stale when a
-    neighbour's removal lowers a key; stale entries are skipped on pop,
-    which keeps the loop ``O(M log M)`` with ``M = sum_u |N_{<=2}(u)|`` —
-    the log factor is the price of using a binary heap instead of the
-    paper's two-level bucket structure, and is irrelevant at the scales a
-    Python reproduction can run.
+    A lazy-deletion heap keyed by ``(|N_<=2|, |N|, tie-break)`` implements
+    the two peeling conditions of Lemma 10 plus the canonical deterministic
+    tie-break.  Entries become stale when a neighbour's removal lowers a
+    key; stale entries are skipped on pop, which keeps the loop
+    ``O(M log M)`` with ``M = sum_u |N_{<=2}(u)|`` — the log factor and
+    the per-entry tuple hashing are what the flat bucket engine removes.
     """
     adjacency = n_le2_adjacency(graph)
     one_hop = _one_hop_degrees(graph)
     sizes = {key: len(neigh) for key, neigh in adjacency.items()}
-    heap: List[Tuple[int, int, VertexKey]] = [
-        (sizes[key], one_hop[key], key) for key in adjacency
+    heap: List[Tuple[int, int, Tuple[str, str], VertexKey]] = [
+        (sizes[key], one_hop[key], _tie_break(key), key) for key in adjacency
     ]
     heapq.heapify(heap)
 
@@ -65,7 +267,7 @@ def _peel(
     removed: Set[VertexKey] = set()
     current = 0
     while heap:
-        size, degree, key = heapq.heappop(heap)
+        size, degree, _, key = heapq.heappop(heap)
         if key in removed:
             continue
         if size != sizes[key] or degree != one_hop[key]:
@@ -84,47 +286,81 @@ def _peel(
                 # as the Lemma 10 tie-break.
                 one_hop[neighbour] -= 1
             heapq.heappush(
-                heap, (sizes[neighbour], one_hop[neighbour], neighbour)
+                heap,
+                (
+                    sizes[neighbour],
+                    one_hop[neighbour],
+                    _tie_break(neighbour),
+                    neighbour,
+                ),
             )
     return bicore, order
 
 
-def bicore_numbers(
-    graph: BipartiteGraph, *, exact: bool = False
-) -> Dict[VertexKey, int]:
-    """Bicore number of every vertex, keyed by ``(side, label)``.
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+def bicore_decomposition(
+    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET
+) -> Tuple[Dict[VertexKey, int], List[VertexKey]]:
+    """Bicore numbers and peel order in one pass.
 
     Parameters
     ----------
-    exact:
-        When ``True``, recompute every ``|N_{<=2}|`` from scratch after each
-        removal instead of decrementing counters.  This is ``O(n * M)`` and
-        only intended as a test oracle on small graphs.
+    impl:
+        One of :data:`IMPL_BUCKET` (default), :data:`IMPL_HEAP`,
+        :data:`IMPL_EXACT`.  All three return identical results; they
+        differ only in speed (see the module docstring).
     """
-    if exact:
-        return _exact_bicore_numbers(graph)
-    bicore, _ = _peel(graph)
+    if impl == IMPL_BUCKET:
+        return _peel_flat(graph, _peel_bucket_flat)
+    if impl == IMPL_HEAP:
+        return _peel_heap(graph)
+    if impl == IMPL_EXACT:
+        return _peel_flat(graph, _peel_exact_flat)
+    raise InvalidParameterError(
+        f"unknown bicore impl {impl!r}; expected one of {ALL_IMPLS}"
+    )
+
+
+def bicore_numbers(
+    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET
+) -> Dict[VertexKey, int]:
+    """Bicore number of every vertex, keyed by ``(side, label)``."""
+    bicore, _ = bicore_decomposition(graph, impl=impl)
     return bicore
 
 
-def bidegeneracy(graph: BipartiteGraph) -> int:
+def bidegeneracy(graph: BipartiteGraph, *, impl: str = IMPL_BUCKET) -> int:
     """Bidegeneracy ``δ̈(G)``: the maximum bicore number (0 if empty)."""
-    numbers = bicore_numbers(graph)
+    numbers = bicore_numbers(graph, impl=impl)
     return max(numbers.values(), default=0)
 
 
-def bidegeneracy_order(graph: BipartiteGraph) -> List[VertexKey]:
+def bidegeneracy_order(
+    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET
+) -> List[VertexKey]:
     """A bidegeneracy order (Definition 5) of all vertices.
 
     Every vertex has the smallest remaining ``|N_{<=2}|`` in the subgraph
     induced by itself and the vertices after it in the returned list.
     """
-    _, order = _peel(graph)
+    _, order = bicore_decomposition(graph, impl=impl)
     return order
 
 
-def _exact_bicore_numbers(graph: BipartiteGraph) -> Dict[VertexKey, int]:
-    """Reference bicore decomposition that re-derives ``N_{<=2}`` per step."""
+def residual_bicore_numbers(graph: BipartiteGraph) -> Dict[VertexKey, int]:
+    """Definition-level reference that re-derives ``N_{<=2}`` per step.
+
+    Unlike the ``impl=`` peels (which remove vertices from the
+    ``N_{<=2}`` graph materialised once), this recomputes every 2-hop
+    neighbourhood on the residual *bipartite* graph after each removal —
+    ``O(n * M)`` and only intended as a semantic cross-check on small
+    graphs.  It uses the same canonical tie-break, but because a removal
+    can sever 2-hop pairs bridged solely by the removed vertex, its peel
+    *order* may differ from the materialised peels on ties; its bicore
+    numbers are what tests compare.
+    """
     working = graph.copy()
     bicore: Dict[VertexKey, int] = {}
     current = 0
@@ -133,7 +369,7 @@ def _exact_bicore_numbers(graph: BipartiteGraph) -> Dict[VertexKey, int]:
         one_hop = _one_hop_degrees(working)
         key = min(
             adjacency,
-            key=lambda k: (len(adjacency[k]), one_hop[k], repr(k)),
+            key=lambda k: (len(adjacency[k]), one_hop[k], _tie_break(k)),
         )
         current = max(current, len(adjacency[key]))
         bicore[key] = current

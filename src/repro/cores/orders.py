@@ -55,6 +55,11 @@ def degree_order(graph: BipartiteGraph) -> List[VertexKey]:
 def search_order(graph: BipartiteGraph, order: str) -> List[VertexKey]:
     """Return the requested total search order over all vertices.
 
+    The bidegeneracy order runs on the default flat bucket engine; callers
+    that want a specific peel engine (the ``heap`` ablation, the ``exact``
+    oracle) call :func:`~repro.cores.bicore.bidegeneracy_order` with
+    ``impl=`` directly, as the peel benchmarks do.
+
     Parameters
     ----------
     order:

@@ -5,13 +5,24 @@ In a bipartite graph the 2-hop neighbours of a vertex are on its *own* side
 on the other side.  The union ``N_{<=2}(u) = N(u) ∪ N_2(u)`` is the search
 scope of every biclique containing ``u`` (Observation 4) and is the degree
 notion underlying bicore numbers and bidegeneracy.
+
+Two materialisations of the full ``N_{<=2}`` adjacency are provided.
+:func:`n_le2_adjacency` keeps the historical dict-of-sets form keyed by
+``(side, label)`` tuples; :func:`n_le2_flat` packs the same relation into
+two flat int arrays in CSR layout over the dense vertex ids of a
+:class:`~repro.graph.csr.CSRBipartite` snapshot.  The flat form is what
+the default bucket peel of :mod:`repro.cores.bicore` consumes: walking a
+2-hop neighbourhood becomes a slice of small ints instead of a set of
+tuples, which removes the per-entry hashing that dominated the set-keyed
+peel.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
+from repro.graph.csr import CSRBipartite
 
 VertexKey = Tuple[str, Vertex]
 
@@ -67,6 +78,40 @@ def n_le2_sizes(graph: BipartiteGraph) -> Dict[VertexKey, int]:
         two_hop.discard(v)
         sizes[(RIGHT, v)] = len(two_hop) + graph.degree_right(v)
     return sizes
+
+
+def n_le2_flat(csr: CSRBipartite) -> Tuple[List[int], List[int]]:
+    """The ``N_{<=2}`` adjacency as flat CSR int arrays ``(indptr, indices)``.
+
+    ``indices[indptr[u]:indptr[u + 1]]`` holds the dense ids of
+    ``N_{<=2}(u)`` for every vertex id ``u`` of the snapshot — 1-hop
+    neighbours and 2-hop neighbours interleaved in discovery order, each
+    id exactly once.  Deduplication uses a single reusable ``mark`` array
+    stamped with the current centre instead of a per-vertex set, so the
+    whole materialisation allocates nothing but the output arrays.
+
+    Time is ``O(sum_u sum_{w in N(u)} |N(w)|)`` — the common-neighbour
+    multiplicity bound the paper charges for the bicore preprocessing —
+    and memory is ``O(M)`` with ``M = sum_u |N_{<=2}(u)|``.
+    """
+    n = csr.num_vertices
+    indptr = csr.indptr
+    indices = csr.indices
+    out_ptr = [0] * (n + 1)
+    out: List[int] = []
+    mark = [-1] * n
+    for u in range(n):
+        mark[u] = u
+        for w in indices[indptr[u] : indptr[u + 1]]:
+            if mark[w] != u:
+                mark[w] = u
+                out.append(w)
+            for z in indices[indptr[w] : indptr[w + 1]]:
+                if mark[z] != u:
+                    mark[z] = u
+                    out.append(z)
+        out_ptr[u + 1] = len(out)
+    return out_ptr, out
 
 
 def n_le2_adjacency(graph: BipartiteGraph) -> Dict[VertexKey, Set[VertexKey]]:

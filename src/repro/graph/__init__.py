@@ -6,6 +6,8 @@ The public surface of this package is:
   bipartite graph with independent left/right label spaces.
 * :class:`~repro.graph.bitset.IndexedBitGraph` — immutable indexed bitmask
   view of a bipartite graph; the branch-and-bound kernels run on it.
+* :class:`~repro.graph.csr.CSRBipartite` — immutable flat CSR adjacency
+  snapshot over dense int vertex ids; the bicore peel runs on it.
 * :func:`~repro.graph.complement.bipartite_complement` — the bipartite
   complement used by the polynomial-case solver.
 * :mod:`~repro.graph.generators` — random and structured graph generators.
@@ -22,12 +24,14 @@ from repro.graph.bitset import (
     k_core_masks,
 )
 from repro.graph.complement import bipartite_complement, complement_density
+from repro.graph.csr import CSRBipartite
 from repro.graph import generators, io, validation
 
 __all__ = [
     "LEFT",
     "RIGHT",
     "BipartiteGraph",
+    "CSRBipartite",
     "IndexedBitGraph",
     "iter_bits",
     "k_core_masks",

@@ -1,0 +1,128 @@
+"""Flat CSR adjacency snapshot of a :class:`BipartiteGraph`.
+
+The label-keyed adjacency sets of :class:`~repro.graph.bipartite.
+BipartiteGraph` are the right shape for the solvers (set intersections,
+membership tests), but they throttle the *decomposition* algorithms whose
+inner loops only ever walk neighbourhoods: every visited neighbour costs a
+hash lookup on a ``(side, label)`` tuple.  :class:`CSRBipartite` is the
+flat counterpart — the whole graph mapped once onto dense integer vertex
+ids with the adjacency lists packed into two flat int arrays in the
+classic compressed-sparse-row layout:
+
+* vertex ids are ``0 .. n-1`` with the left side first: left labels get
+  ``0 .. num_left-1`` and right labels get ``num_left .. n-1``, each side
+  sorted by ``repr(label)`` so the id assignment is deterministic for any
+  mix of label types (the same convention as
+  :meth:`~repro.graph.bipartite.BipartiteGraph.to_biadjacency`);
+* ``indices[indptr[i]:indptr[i + 1]]`` holds the neighbour ids of vertex
+  ``i`` in ascending order, so walking a neighbourhood is a flat slice of
+  small ints — no tuples, no hashing.
+
+The id order doubles as the canonical deterministic tie-break of the
+bicore engine (:mod:`repro.cores.bicore`): comparing two vertices by id is
+exactly comparing them by ``(side, repr(label))``, which is what lets the
+bucket, heap and oracle peels agree on one total order.
+
+The arrays are plain Python lists of ints.  CPython stores a list as a
+contiguous array of pointers into the small-int cache, which for
+pure-Python index loops beats ``array('q')`` (whose ``__getitem__`` boxes
+a fresh ``int`` per access) — the layout is CSR, the container is the
+fastest one the interpreter offers.
+
+A snapshot is immutable by convention: it does not track later mutations
+of the source graph, exactly like :class:`~repro.graph.bitset.
+IndexedBitGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
+
+VertexKey = Tuple[str, Vertex]
+
+
+class CSRBipartite:
+    """Immutable CSR view of a bipartite graph over dense vertex ids."""
+
+    __slots__ = ("keys", "indptr", "indices", "num_left", "num_right", "_index")
+
+    def __init__(
+        self,
+        keys: List[VertexKey],
+        indptr: List[int],
+        indices: List[int],
+        num_left: int,
+    ) -> None:
+        self.keys = keys
+        self.indptr = indptr
+        self.indices = indices
+        self.num_left = num_left
+        self.num_right = len(keys) - num_left
+        self._index: Dict[VertexKey, int] = {key: i for i, key in enumerate(keys)}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bipartite(cls, graph: BipartiteGraph) -> "CSRBipartite":
+        """Index ``graph`` once into the flat CSR form."""
+        left = sorted(graph.left_vertices(), key=repr)
+        right = sorted(graph.right_vertices(), key=repr)
+        num_left = len(left)
+        keys: List[VertexKey] = [(LEFT, u) for u in left]
+        keys.extend((RIGHT, v) for v in right)
+        left_id = {u: i for i, u in enumerate(left)}
+        right_id = {v: num_left + j for j, v in enumerate(right)}
+        indptr = [0] * (len(keys) + 1)
+        indices: List[int] = []
+        for i, u in enumerate(left):
+            indices.extend(sorted(right_id[v] for v in graph.neighbors_left(u)))
+            indptr[i + 1] = len(indices)
+        for j, v in enumerate(right):
+            indices.extend(sorted(left_id[u] for u in graph.neighbors_right(v)))
+            indptr[num_left + j + 1] = len(indices)
+        return cls(keys, indptr, indices, num_left)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Total number of vertices ``|L| + |R|``."""
+        return len(self.keys)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges (each contributes one entry per direction)."""
+        return len(self.indices) // 2
+
+    def index_of(self, key: VertexKey) -> int:
+        """Dense id of a ``(side, label)`` key."""
+        return self._index[key]
+
+    def key_of(self, vertex: int) -> VertexKey:
+        """``(side, label)`` key of a dense id."""
+        return self.keys[vertex]
+
+    def is_left(self, vertex: int) -> bool:
+        """``True`` when the id belongs to the left side."""
+        return vertex < self.num_left
+
+    def degree(self, vertex: int) -> int:
+        """Degree of the vertex with the given dense id."""
+        return self.indptr[vertex + 1] - self.indptr[vertex]
+
+    def neighbors(self, vertex: int) -> List[int]:
+        """Neighbour ids of ``vertex``, ascending (a fresh list slice)."""
+        return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CSRBipartite(|L|={self.num_left}, |R|={self.num_right}, "
+            f"|E|={self.num_edges})"
+        )

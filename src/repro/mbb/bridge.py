@@ -166,9 +166,11 @@ def bridge_mbb(
         Optional precomputed total search order (must be the order that
         ``order`` names, over exactly this graph's vertices).  Computing
         the bidegeneracy order is the kernel-independent fixed cost of
-        this stage; callers that already hold it — repeated solves on one
-        residual graph, or the kernel benchmarks isolating the
-        data-structure effect — pass it here to skip the recomputation.
+        this stage; callers that already hold it — ``hbv_mbb``, which
+        computes it once and records its wall time as the
+        ``order_seconds`` stage stat, repeated solves on one residual
+        graph, or the kernel benchmarks isolating the data-structure
+        effect — pass it here to skip the recomputation.
     """
     if kernel not in (KERNEL_BITS, KERNEL_SETS):
         raise InvalidParameterError(

@@ -98,6 +98,11 @@ class SearchStats:
     subgraphs_searched: int = 0
     heuristic_side: int = 0
     local_heuristic_side: int = 0
+    #: Wall seconds spent computing the total search order (the bridging
+    #: stage's kernel-independent fixed cost, the ``bdegOrder`` overhead
+    #: column of Table 6).  The only non-count stat; 0.0 when the solve
+    #: never reached the bridging stage or was handed a precomputed order.
+    order_seconds: float = 0.0
 
     def record_node(self, depth: int) -> None:
         """Record entry into a branch-and-bound node at the given depth."""
@@ -143,6 +148,7 @@ class SearchStats:
         self.local_heuristic_side = max(
             self.local_heuristic_side, other.local_heuristic_side
         )
+        self.order_seconds += other.order_seconds
 
 
 #: Step labels reported by the sparse framework (Table 5, column "hbvMBB").

@@ -157,3 +157,77 @@ class TestSolveReportRoundTrip:
         del payload["request"]
         with pytest.raises(InvalidParameterError):
             SolveReport.from_dict(payload)
+
+
+class TestSweepRequests:
+    def test_expands_cartesian_product_with_tags(self):
+        from repro.api import sweep_requests
+
+        requests = sweep_requests(
+            ["unicodelang", "moreno-crime"],
+            ["sparse", "mvb"],
+            time_budget=2.5,
+        )
+        assert len(requests) == 4
+        assert [request.tag for request in requests] == [
+            "unicodelang:sparse",
+            "unicodelang:mvb",
+            "moreno-crime:sparse",
+            "moreno-crime:mvb",
+        ]
+        assert all(request.graph.kind == "dataset" for request in requests)
+        # The budget lands on the budget-capable backend only (mvb would
+        # reject it at dispatch time).
+        assert all(
+            request.time_budget == 2.5
+            for request in requests
+            if request.backend == "sparse"
+        )
+
+    def test_requests_round_trip_through_json(self):
+        from repro.api import sweep_requests
+
+        requests = sweep_requests(["unicodelang"], ["sparse"], node_budget=100)
+        clone = SolveRequest.from_json(requests[0].to_json())
+        assert clone == requests[0]
+        assert clone.node_budget == 100
+
+    def test_unknown_dataset_rejected_up_front(self):
+        from repro.api import sweep_requests
+
+        with pytest.raises(InvalidParameterError):
+            sweep_requests(["no-such-dataset"], ["sparse"])
+
+    def test_unknown_backend_rejected_up_front(self):
+        from repro.api import sweep_requests
+
+        with pytest.raises(InvalidParameterError):
+            sweep_requests(["unicodelang"], ["quantum"])
+
+    def test_empty_axes_rejected(self):
+        from repro.api import sweep_requests
+
+        with pytest.raises(InvalidParameterError):
+            sweep_requests([], ["sparse"])
+        with pytest.raises(InvalidParameterError):
+            sweep_requests(["unicodelang"], [])
+
+    def test_budgets_omitted_for_budget_less_backends(self):
+        from repro.api import sweep_requests
+
+        # mvb rejects budgets at dispatch time; a mixed sweep must not
+        # poison the batch, so only the sparse cell carries the budget.
+        requests = sweep_requests(
+            ["unicodelang"], ["sparse", "mvb"], time_budget=5.0, node_budget=10
+        )
+        by_backend = {request.backend: request for request in requests}
+        assert by_backend["sparse"].time_budget == 5.0
+        assert by_backend["sparse"].node_budget == 10
+        assert by_backend["mvb"].time_budget is None
+        assert by_backend["mvb"].node_budget is None
+        # Every generated request must actually dispatch.
+        reports = MBBEngine().solve_many(requests, parallel=False)
+        assert [report.request.tag for report in reports] == [
+            "unicodelang:sparse",
+            "unicodelang:mvb",
+        ]

@@ -4,15 +4,41 @@ from __future__ import annotations
 
 import pytest
 
+from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
 from repro.graph.generators import (
     complete_bipartite,
     path_bipartite,
     random_bipartite,
+    random_power_law_bipartite,
     star_bipartite,
 )
-from repro.cores.bicore import bicore_numbers, bidegeneracy, bidegeneracy_order
-from repro.cores.two_hop import n_le2_neighbors, n_le2_sizes
+from repro.cores.bicore import (
+    ALL_IMPLS,
+    IMPL_BUCKET,
+    IMPL_EXACT,
+    IMPL_HEAP,
+    bicore_decomposition,
+    bicore_numbers,
+    bidegeneracy,
+    bidegeneracy_order,
+    residual_bicore_numbers,
+)
+from repro.cores.two_hop import n_le2_adjacency, n_le2_neighbors, n_le2_sizes
+
+
+def _build_corpus():
+    graphs = []
+    for seed in range(6):
+        graphs.append(random_bipartite(6, 6, 0.35, seed=seed))
+        graphs.append(random_bipartite(5, 9, 0.25, seed=seed))
+        graphs.append(random_power_law_bipartite(12, 12, 2.0, seed=seed))
+    return tuple(graphs)
+
+
+#: Random-graph corpus shared by the impl-equivalence properties — built
+#: once; every consumer only reads the graphs.
+GRAPH_CORPUS = _build_corpus()
 
 
 class TestBicoreNumbers:
@@ -36,18 +62,14 @@ class TestBicoreNumbers:
         numbers = bicore_numbers(graph)
         assert numbers == {(LEFT, 0): 1, (RIGHT, 0): 1}
 
-    def test_empty_graph(self):
-        assert bicore_numbers(BipartiteGraph()) == {}
+    @pytest.mark.parametrize("impl", ALL_IMPLS)
+    def test_empty_graph(self, impl):
+        assert bicore_numbers(BipartiteGraph(), impl=impl) == {}
+        assert bidegeneracy_order(BipartiteGraph(), impl=impl) == []
 
-    @pytest.mark.parametrize("seed", range(6))
-    def test_peeling_matches_exact_reference(self, seed):
-        graph = random_bipartite(6, 6, 0.35, seed=seed)
-        fast = bicore_numbers(graph)
-        exact = bicore_numbers(graph, exact=True)
-        # The peeling of Algorithm 7 (Lemma 10 tie-break) and the exact
-        # recomputation agree on the bidegeneracy, the quantity the sparse
-        # framework's complexity depends on.
-        assert max(fast.values(), default=0) == max(exact.values(), default=0)
+    def test_unknown_impl_raises(self):
+        with pytest.raises(InvalidParameterError):
+            bicore_numbers(random_bipartite(3, 3, 0.5, seed=0), impl="quantum")
 
     @pytest.mark.parametrize("seed", range(4))
     def test_bicore_at_least_core_like_lower_bounds(self, seed):
@@ -58,6 +80,67 @@ class TestBicoreNumbers:
             # A vertex's bicore number can never exceed its |N_<=2| in the
             # full graph, and is never negative.
             assert 0 <= value <= sizes[key]
+
+
+class TestImplEquivalence:
+    """Bucket peel ≡ heap peel ≡ exact oracle, numbers *and* order."""
+
+    @pytest.mark.parametrize("index", range(18))
+    def test_all_impls_agree_exactly(self, index):
+        graph = GRAPH_CORPUS[index]
+        bucket = bicore_decomposition(graph, impl=IMPL_BUCKET)
+        heap = bicore_decomposition(graph, impl=IMPL_HEAP)
+        exact = bicore_decomposition(graph, impl=IMPL_EXACT)
+        # Same bicore numbers AND the identical peel order: all three
+        # share the (|N_<=2|, 1-hop degree, id) priority bit for bit.
+        assert bucket == heap == exact
+
+    def test_impls_agree_on_mixed_label_types(self):
+        # int and str labels cannot be compared directly; the repr-based
+        # tie-break (= the CSR id order) must still give one total order.
+        graph = BipartiteGraph(
+            edges=[(1, "a"), ("x", "a"), (1, "b"), ("x", "b"), (2, "a"), (10, "b")]
+        )
+        bucket = bicore_decomposition(graph, impl=IMPL_BUCKET)
+        heap = bicore_decomposition(graph, impl=IMPL_HEAP)
+        exact = bicore_decomposition(graph, impl=IMPL_EXACT)
+        assert bucket == heap == exact
+
+    @pytest.mark.parametrize("index", range(0, 18, 3))
+    def test_order_validity_invariant(self, index):
+        """Each peeled vertex has minimum remaining |N_<=2| at its step.
+
+        "Remaining" means within the materialised N_<=2 graph restricted
+        to the survivors — the graph the peel removes vertices from.
+        """
+        graph = GRAPH_CORPUS[index]
+        adjacency = n_le2_adjacency(graph)
+        order = bidegeneracy_order(graph)
+        alive = set(adjacency)
+        for key in order:
+            remaining = {k: len(adjacency[k] & alive) for k in alive}
+            assert remaining[key] == min(remaining.values())
+            alive.discard(key)
+
+    @pytest.mark.parametrize("index", range(0, 18, 2))
+    def test_residual_reference_agrees_on_numbers(self, index):
+        """Cross-check against the Definition-level residual recompute.
+
+        Re-deriving N_<=2 on the residual bipartite graph can peel ties in
+        a different order (a removal may sever 2-hop pairs it bridged),
+        but the bicore numbers — the quantities δ̈ and Lemma 8 depend on —
+        must match the materialised peel's.
+        """
+        graph = GRAPH_CORPUS[index]
+        assert bicore_numbers(graph) == residual_bicore_numbers(graph)
+
+    def test_decomposition_number_is_running_max_of_order(self):
+        graph = random_bipartite(8, 8, 0.35, seed=11)
+        numbers, order = bicore_decomposition(graph)
+        assert list(numbers) != []
+        values = [numbers[key] for key in order]
+        # Peel order yields non-decreasing bicore numbers (running max).
+        assert values == sorted(values)
 
 
 class TestBidegeneracy:

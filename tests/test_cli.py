@@ -142,6 +142,65 @@ class TestBatchCommand:
         assert "valid JSON" in capsys.readouterr().err
 
 
+class TestSweepCommand:
+    def test_sweep_emits_batch_consumable_requests(self, capsys):
+        exit_code = main(
+            ["sweep", "--datasets", "unicodelang,moreno-crime", "--backends", "mvb"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(out)
+        assert [entry["tag"] for entry in payload["requests"]] == [
+            "unicodelang:mvb",
+            "moreno-crime:mvb",
+        ]
+
+    def test_sweep_tough_expands_all_tough_stand_ins(self, capsys):
+        from repro.workloads.datasets import TOUGH_DATASETS
+
+        exit_code = main(
+            ["sweep", "--datasets", "tough", "--backends", "sparse,dense"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(out)
+        assert len(payload["requests"]) == 2 * len(TOUGH_DATASETS)
+
+    def test_sweep_output_file_feeds_batch(self, tmp_path, capsys):
+        sweep_path = tmp_path / "sweep.json"
+        exit_code = main(
+            [
+                "sweep",
+                "--datasets",
+                "unicodelang",
+                "--backends",
+                "mvb",
+                "--output",
+                str(sweep_path),
+            ]
+        )
+        assert exit_code == 0
+        assert "wrote 1 requests" in capsys.readouterr().out
+        # The generated file is directly consumable by the batch command.
+        exit_code = main(["batch", str(sweep_path), "--serial"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        reports = json.loads(out)
+        assert len(reports) == 1
+        assert reports[0]["request"]["tag"] == "unicodelang:mvb"
+        assert reports[0]["backend"] == "mvb"
+
+    def test_sweep_unknown_dataset_is_clean_error(self, capsys):
+        exit_code = main(["sweep", "--datasets", "nope", "--backends", "mvb"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_unknown_backend_is_clean_error(self, capsys):
+        exit_code = main(["sweep", "--datasets", "unicodelang", "--backends", "warp"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestBackendsCommand:
     def test_backends_lists_registry(self, capsys):
         exit_code = main(["backends"])
@@ -213,7 +272,8 @@ class TestBenchCommand:
 
     def test_bench_kernels_writes_json(self, tmp_path, capsys):
         # --smoke keeps this a smoke test: two dense cases plus one
-        # bridging-stage dataset (the CI workflow runs the same command).
+        # bridging-stage dataset plus one peel dataset (the CI workflow
+        # runs the same command).
         out_path = tmp_path / "kernels.json"
         exit_code = main(
             [
@@ -237,6 +297,15 @@ class TestBenchCommand:
         assert all(row["stage"] == "bridge" for row in document["bridge_rows"])
         stages = {row["stage"] for row in document["speedups"]}
         assert stages == {"dense", "bridge"}
+        # The bidegeneracy-peel comparison ships as peel_rows: bucket vs
+        # heap engines producing the identical order.
+        assert {row["impl"] for row in document["peel_rows"]} == {"bucket", "heap"}
+        assert all(row["stage"] == "peel" for row in document["peel_rows"])
+        assert all(row["orders_match"] is True for row in document["peel_rows"])
+        assert all(
+            summary["heap_seconds"] > 0 and summary["bucket_seconds"] > 0
+            for summary in document["peel_speedups"]
+        )
 
     @pytest.mark.bench
     def test_bench_kernels_full_sweep_reaches_side_48(self, tmp_path):

@@ -184,3 +184,29 @@ class TestSparseConfigOptions:
 
     def test_full_config_is_default(self):
         assert CONFIG_FULL == SparseConfig()
+
+
+class TestOrderStageStat:
+    """hbvMBB computes the total order once and reports its wall time."""
+
+    def test_order_seconds_recorded_when_bridging_runs(self):
+        graph = random_power_law_bipartite(40, 40, 3.0, seed=0)
+        result = hbv_mbb(graph)
+        assert result.terminated_at in (STEP_BRIDGE, STEP_VERIFY)
+        assert result.stats.order_seconds > 0.0
+
+    def test_order_seconds_zero_when_s1_proves_optimality(self):
+        result = hbv_mbb(complete_bipartite(6, 6))
+        assert result.terminated_at == STEP_HEURISTIC
+        assert result.stats.order_seconds == 0.0
+
+    def test_order_seconds_flows_into_solve_report(self):
+        from repro.api import GraphSpec, MBBEngine, SolveReport, SolveRequest
+
+        request = SolveRequest(
+            graph=GraphSpec.power_law(40, 40, 3.0, seed=0), backend="sparse"
+        )
+        report = MBBEngine().solve(request)
+        assert report.stats["order_seconds"] > 0.0
+        clone = SolveReport.from_json(report.to_json())
+        assert clone.stats["order_seconds"] == report.stats["order_seconds"]

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
+from repro.graph.csr import CSRBipartite
 from repro.graph.generators import complete_bipartite, path_bipartite, random_bipartite
 from repro.cores.two_hop import (
     n2_neighbors,
     n_le2_adjacency,
+    n_le2_flat,
     n_le2_neighbors,
     n_le2_sizes,
 )
@@ -60,3 +64,32 @@ class TestNLe2:
         # Interior vertices of a path see 2 one-hop + up to 2 two-hop vertices.
         assert max(sizes.values()) <= 4
         assert min(sizes.values()) >= 1
+
+
+class TestNLe2Flat:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_flat_matches_set_adjacency(self, seed):
+        graph = random_bipartite(7, 8, 0.3, seed=seed)
+        csr = CSRBipartite.from_bipartite(graph)
+        indptr, indices = n_le2_flat(csr)
+        adjacency = n_le2_adjacency(graph)
+        assert indptr[-1] == len(indices)
+        for i in range(csr.num_vertices):
+            slice_ids = indices[indptr[i] : indptr[i + 1]]
+            # Each id appears exactly once and the id set equals the
+            # set-keyed N_<=2 neighbourhood mapped through the index.
+            assert len(slice_ids) == len(set(slice_ids))
+            expected = {csr.index_of(key) for key in adjacency[csr.key_of(i)]}
+            assert set(slice_ids) == expected
+
+    def test_flat_sizes_match_n_le2_sizes(self):
+        graph = random_bipartite(9, 6, 0.35, seed=7)
+        csr = CSRBipartite.from_bipartite(graph)
+        indptr, _ = n_le2_flat(csr)
+        sizes = n_le2_sizes(graph)
+        for i in range(csr.num_vertices):
+            assert indptr[i + 1] - indptr[i] == sizes[csr.key_of(i)]
+
+    def test_empty_graph(self):
+        indptr, indices = n_le2_flat(CSRBipartite.from_bipartite(BipartiteGraph()))
+        assert indptr == [0] and indices == []
