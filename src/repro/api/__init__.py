@@ -11,8 +11,10 @@ benchmark harness or a network server builds on:
   sources, and the :func:`sweep_requests` dataset-sweep expander behind
   ``repro-mbb sweep``;
 * :mod:`repro.api.engine` — the :class:`MBBEngine` facade with
-  :meth:`~MBBEngine.solve` and the batch-parallel
-  :meth:`~MBBEngine.solve_many`.
+  :meth:`~MBBEngine.solve`, the batch-parallel
+  :meth:`~MBBEngine.solve_many`, and the per-graph
+  :class:`PreparedGraphCache` that amortises the
+  CSR + ``N_{<=2}`` + peel pipeline across repeated solves.
 
 Quickstart
 ----------
@@ -25,7 +27,7 @@ True
 """
 
 from repro.api import backends as _backends  # noqa: F401  (registers built-ins)
-from repro.api.engine import MBBEngine
+from repro.api.engine import MBBEngine, PreparedGraphCache
 from repro.api.registry import (
     BackendInfo,
     FunctionBackend,
@@ -57,4 +59,5 @@ __all__ = [
     "SolveReport",
     "sweep_requests",
     "MBBEngine",
+    "PreparedGraphCache",
 ]

@@ -39,6 +39,7 @@ from repro.baselines.mbe import adapted_fmbe, adapted_imbea
 from repro.baselines.mvb import maximum_vertex_biclique
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.prepared import PreparedGraph
 from repro.mbb.basic_bb import basic_bb
 from repro.mbb.context import SearchContext
 from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS, dense_mbb
@@ -71,6 +72,7 @@ def _run_sparse(
     kernel: str,
     seed: int,
     sparse_config: Optional[SparseConfig] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> MBBResult:
     if sparse_config is None:
         config = SparseConfig(kernel=kernel)
@@ -88,7 +90,7 @@ def _run_sparse(
             and config.time_budget is not None
         ):
             context.time_budget = config.time_budget
-    return hbv_mbb(graph, config=config, context=context)
+    return hbv_mbb(graph, config=config, context=context, prepared=prepared)
 
 
 def _run_auto(
@@ -98,11 +100,19 @@ def _run_auto(
     kernel: str,
     seed: int,
     sparse_config: Optional[SparseConfig] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> MBBResult:
+    # The prepared snapshot only serves the sparse framework; the dense
+    # resolution drops it (the dense solver indexes into bitsets itself).
     if resolve_auto(graph) == "dense":
         return _run_dense(graph, context, kernel=kernel, seed=seed)
     return _run_sparse(
-        graph, context, kernel=kernel, seed=seed, sparse_config=sparse_config
+        graph,
+        context,
+        kernel=kernel,
+        seed=seed,
+        sparse_config=sparse_config,
+        prepared=prepared,
     )
 
 
@@ -235,6 +245,7 @@ _register(
     description="density-based choice between denseMBB and hbvMBB",
     exact=True,
     kernels=_BOTH_KERNELS,
+    supports_prepared=True,
 )
 _register(
     "dense",
@@ -249,6 +260,7 @@ _register(
     description="Algorithm 4 hbvMBB (heuristic, bridging, verification)",
     exact=True,
     kernels=_BOTH_KERNELS,
+    supports_prepared=True,
 )
 _register(
     "basic",

@@ -17,24 +17,102 @@ Budgets flow through one mechanism: the engine builds a single
 budget, the time budget and an absolute deadline, and hands it to the
 backend; solvers abort cooperatively through the context instead of each
 plumbing its own budget arguments.
+
+The engine also owns the :class:`PreparedGraphCache`: a bounded LRU of
+:class:`~repro.graph.prepared.PreparedGraph` snapshots keyed by graph
+content fingerprint.  Backends that declare ``supports_prepared`` (the
+sparse framework and ``auto``) receive the cached snapshot, so repeated
+``solve()`` calls, ``solve_many`` batches over one graph and
+``repro-mbb sweep`` parameter sweeps amortise the whole
+CSR + ``N_{<=2}`` + peel pipeline across solves.  Every engine shares
+one process-wide cache by default — which is exactly what makes the
+amortisation reach the process-pool workers, each of which constructs a
+fresh engine per request — and each solve reports its hit/miss and
+``prepare_seconds`` through :class:`~repro.mbb.result.SearchStats`.
 """
 
 from __future__ import annotations
 
 import os
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.api.registry import SolverBackend, get_backend
 from repro.api.request import SolveReport, SolveRequest
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph
+from repro.graph.prepared import PreparedGraph, graph_fingerprint
 from repro.mbb.context import SearchContext
 from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
 from repro.mbb.result import MBBResult
 
 _KERNELS = (KERNEL_BITS, KERNEL_SETS)
+
+
+class PreparedGraphCache:
+    """Bounded LRU of :class:`PreparedGraph` snapshots keyed by content.
+
+    The key is the graph's :func:`~repro.graph.prepared.graph_fingerprint`
+    — content, not object identity, so two materialisations of the same
+    request spec (e.g. across ``solve()`` calls or sweep cells) share one
+    snapshot.  A fingerprint is a cache key, not a proof: every hit
+    re-verifies ``cached.graph == graph`` and a mismatch (a ``repr``
+    collision between distinct graphs) is handled as a miss that
+    overwrites the colliding entry — a collision can cost a
+    re-preparation but never leaks one graph's arrays into another
+    graph's solve.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(
+                f"cache capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[str, PreparedGraph]" = OrderedDict()
+
+    def get(self, graph: BipartiteGraph) -> Tuple[PreparedGraph, bool]:
+        """Return ``(prepared, hit)`` for ``graph``, preparing on a miss."""
+        fingerprint = graph_fingerprint(graph)
+        cached = self._entries.get(fingerprint)
+        if cached is not None and cached.graph == graph:
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return cached, True
+        self.misses += 1
+        prepared = PreparedGraph.prepare(graph)
+        self._entries[fingerprint] = prepared
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return prepared, False
+
+    def clear(self) -> None:
+        """Drop every cached snapshot (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters plus the current size, for observability."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Process-wide default cache shared by every engine that is not given a
+#: private one.  Sharing at module level is what lets process-pool
+#: workers — which build a fresh ``MBBEngine`` per request — amortise
+#: preparation across the requests they each execute.
+_SHARED_PREPARED_CACHE = PreparedGraphCache()
 
 
 def _solve_request_json(payload: str) -> str:
@@ -56,14 +134,27 @@ class MBBEngine:
     max_workers:
         Default process-pool size for :meth:`solve_many` (defaults to the
         CPU count, capped by the batch size).
+    prepared_cache:
+        The :class:`PreparedGraphCache` this engine threads through
+        backends that declare ``supports_prepared``.  Defaults to one
+        process-wide shared cache; pass a private instance to isolate a
+        workload (or size the LRU differently).
     """
 
-    def __init__(self, *, max_workers: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        *,
+        max_workers: Optional[int] = None,
+        prepared_cache: Optional[PreparedGraphCache] = None,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise InvalidParameterError(
                 f"max_workers must be positive, got {max_workers}"
             )
         self.max_workers = max_workers
+        self.prepared_cache = (
+            prepared_cache if prepared_cache is not None else _SHARED_PREPARED_CACHE
+        )
 
     # ------------------------------------------------------------------
     # single solves
@@ -184,12 +275,27 @@ class MBBEngine:
         context = SearchContext(node_budget=node_budget)
         if time_budget is not None:
             context.deadline = time.perf_counter() + time_budget
-        result = solver.run(graph, context, kernel=kernel, seed=seed, **backend_options)
         resolved = backend
         if backend == "auto":
             from repro.api.backends import resolve_auto
 
             resolved = resolve_auto(graph)
+        if (
+            solver.info.supports_prepared
+            and "prepared" not in backend_options
+            # ``auto`` resolving to the dense solver would drop the
+            # snapshot unused — don't pollute the cache for it.
+            and resolved != "dense"
+        ):
+            prepare_start = time.perf_counter()
+            prepared, hit = self.prepared_cache.get(graph)
+            context.stats.prepare_seconds += time.perf_counter() - prepare_start
+            if hit:
+                context.stats.prepared_cache_hits += 1
+            else:
+                context.stats.prepared_cache_misses += 1
+            backend_options["prepared"] = prepared
+        result = solver.run(graph, context, kernel=kernel, seed=seed, **backend_options)
         return result, resolved, kernel
 
     @staticmethod

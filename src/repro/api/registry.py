@@ -45,6 +45,10 @@ class BackendInfo:
     supports_budgets: bool = True
     #: ``True`` when the ``seed`` request field changes behaviour.
     supports_seed: bool = False
+    #: ``True`` when ``run`` accepts a ``prepared=`` keyword carrying a
+    #: :class:`~repro.graph.prepared.PreparedGraph` snapshot; the engine
+    #: then threads its per-graph cache through the backend.
+    supports_prepared: bool = False
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form used by the CLI's ``backends --json`` listing."""
@@ -55,6 +59,7 @@ class BackendInfo:
             "kernels": list(self.kernels),
             "supports_budgets": self.supports_budgets,
             "supports_seed": self.supports_seed,
+            "supports_prepared": self.supports_prepared,
         }
 
 

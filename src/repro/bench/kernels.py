@@ -1,6 +1,6 @@
 """Kernel comparison — flat/bitset vs set-keyed inner loops, per stage.
 
-Three comparisons are produced:
+Five comparisons are produced:
 
 * **dense rows** time :func:`repro.mbb.dense.dense_mbb` with both
   branch-and-bound kernels (:data:`KERNELS`) on the Table 4 dense
@@ -16,15 +16,25 @@ Three comparisons are produced:
   two-level bucket engine against the set-keyed heap ablation
   (:data:`PEEL_IMPLS`) on the same stand-ins — the stage's
   kernel-independent fixed cost that the bridge rows deliberately factor
-  out.
+  out;
+* **subgraph rows** time vertex-centred subgraph *generation* — the
+  other half of S2 — with the CSR generator
+  (:func:`~repro.mbb.vertex_centred.iter_vertex_centred_subgraphs_csr`)
+  against the label-keyed one, from the same precomputed bidegeneracy
+  order and one shared prepared snapshot, on the same stand-ins;
+* **engine cache rows** time a cold vs a warm
+  :meth:`~repro.api.engine.MBBEngine.solve` of the same request against
+  a fresh :class:`~repro.api.engine.PreparedGraphCache`, archiving the
+  ``prepare_seconds``/``order_seconds`` stage stats that the cache hit
+  collapses.
 
 Each pair runs the same algorithm with the same tie-breaking, so dense
 rows find the same optimum (node counts differ by a few percent), bridge
-rows keep the same surviving subgraphs, and peel rows produce the
-identical vertex order; the time ratios therefore isolate the
-data-structure effect: hash-set intersections, dict-keyed peels and tuple
-heap entries vs flat int arrays and single ``&``/``bit_count`` operations
-on packed integers.
+rows keep the same surviving subgraphs, peel rows produce the identical
+vertex order, and subgraph rows yield byte-identical member-set families;
+the time ratios therefore isolate the data-structure effect: hash-set
+intersections, dict-keyed peels and tuple heap entries vs flat int arrays
+and single ``&``/``bit_count`` operations on packed integers.
 
 The resulting rows are archived as ``BENCH_kernels.json`` at the repository
 root so regressions of the flat/bitset implementations are caught by
@@ -38,12 +48,17 @@ from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.harness import format_table, run_backend, timed
+from repro.graph.prepared import PreparedGraph
 from repro.cores.bicore import IMPL_BUCKET, IMPL_HEAP, bicore_decomposition
-from repro.cores.orders import ORDER_BIDEGENERACY, search_order
+from repro.cores.orders import ORDER_BIDEGENERACY
 from repro.mbb.bridge import bridge_mbb
 from repro.mbb.context import SearchContext
 from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
 from repro.mbb.heuristics import degree_heuristic
+from repro.mbb.vertex_centred import (
+    iter_vertex_centred_subgraphs,
+    iter_vertex_centred_subgraphs_csr,
+)
 from repro.workloads.datasets import load_dataset
 from repro.workloads.synthetic import DenseCase, dense_case_graph
 
@@ -89,7 +104,28 @@ DEFAULT_PEEL_DATASETS = DEFAULT_BRIDGE_DATASETS
 #: Single small stand-in for CI smoke runs of the peel comparison.
 SMOKE_PEEL_DATASETS = ("unicodelang",)
 
+#: Stand-ins for the centred-subgraph generation comparison: the same
+#: largest tough datasets, where S2 slices the most members per centre.
+DEFAULT_SUBGRAPH_DATASETS = DEFAULT_BRIDGE_DATASETS
+
+#: Single small stand-in for CI smoke runs of the subgraph comparison.
+SMOKE_SUBGRAPH_DATASETS = ("unicodelang",)
+
+#: Stand-ins for the cold-vs-warm engine cache comparison: mid-size
+#: graphs the sparse backend solves to optimality in well under a
+#: second, so the cache effect is not drowned by exhaustive search.
+DEFAULT_ENGINE_CACHE_DATASETS = ("jester", "escorts")
+
+#: Single small stand-in for CI smoke runs of the engine cache row.
+SMOKE_ENGINE_CACHE_DATASETS = ("unicodelang",)
+
 KERNELS = (KERNEL_SETS, KERNEL_BITS)
+
+#: Centred-subgraph generators compared by the subgraph rows: label-keyed
+#: position dicts (ablation baseline) vs the flat CSR walker (default).
+GENERATOR_LABELS = "labels"
+GENERATOR_CSR = "csr"
+SUBGRAPH_GENERATORS = (GENERATOR_LABELS, GENERATOR_CSR)
 
 #: Peel engines compared by the peel rows: set-keyed heap (baseline
 #: ablation) vs the flat two-level bucket engine (default).
@@ -146,17 +182,23 @@ def run_bridge_case(
 ) -> List[Dict[str, object]]:
     """Time the bridging stage (S2) with both kernels on one stand-in.
 
-    The bidegeneracy order — the kernel-independent fixed cost of the
-    stage — is computed once and shared, so the measured time is the
-    per-subgraph work the ``kernel`` switch actually governs: member-set
-    slicing, the core-decomposition peel, the degeneracy test and the
-    local heuristic.  The incumbent starts empty (the ``bd1`` worst case:
-    no size test kills a subgraph for free).  Each kernel is run
-    ``repeats`` times and the minimum is reported, since these are
-    sub-second measurements.
+    The bidegeneracy order and the prepared snapshot — the
+    kernel-independent fixed costs of the stage — are computed once and
+    shared, so the measured time is the per-subgraph work the ``kernel``
+    switch actually governs: member-set slicing, the core-decomposition
+    peel, the degeneracy test and the local heuristic.  The incumbent
+    starts empty (the ``bd1`` worst case: no size test kills a subgraph
+    for free).  Each kernel is run ``repeats`` times and the minimum is
+    reported, since these are sub-second measurements.
     """
     graph = load_dataset(dataset)
-    order = search_order(graph, ORDER_BIDEGENERACY)
+    prepared = PreparedGraph.prepare(graph)
+    # The memoised order object (not a copy): its identity keys the
+    # snapshot's order-view memoisation, so the position-space view is
+    # built once here and shared by every timed repeat — it is part of
+    # the stage's shared fixed input, exactly like the order itself.
+    order = prepared.search_order(ORDER_BIDEGENERACY)
+    prepared.order_view(order)
     rows: List[Dict[str, object]] = []
     for kernel in KERNELS:
         completed_seconds = float("inf")
@@ -166,7 +208,12 @@ def run_bridge_case(
         for _ in range(max(1, repeats)):
             context = SearchContext(time_budget=time_budget)
             outcome, elapsed = timed(
-                bridge_mbb, graph, context, kernel=kernel, total_order=order
+                bridge_mbb,
+                graph,
+                context,
+                kernel=kernel,
+                total_order=order,
+                prepared=prepared,
             )
             # Every archived column (seconds included) comes from completed
             # repeats only, so the row never mixes a full measurement with
@@ -279,6 +326,193 @@ def run_peel_comparison(
     return rows
 
 
+def run_subgraph_case(
+    dataset: str,
+    *,
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Time centred-subgraph generation with both generators on one stand-in.
+
+    The bidegeneracy order and the prepared snapshot are computed once and
+    shared (they are the inputs every S2 pass holds anyway); per timed
+    repeat each generator then pays its own full pass, *including its own
+    setup*: the label generator rebuilds its per-side position dicts, the
+    CSR generator rebuilds the position-space order view (a fresh copy of
+    the order defeats the snapshot's identity memoisation on purpose).
+    That is the cold, symmetric comparison archived as ``seconds``; the
+    CSR row additionally archives ``warm_seconds`` — the pass with the
+    view memoised, which is what every repeated solve of one graph pays.
+    An untimed verification pass first checks that both generators
+    produce identical families — centres, positions and member sets —
+    and the result is archived as ``families_match``.  The minimum over
+    ``repeats`` runs is reported; ``time_budget`` caps the repeat loop
+    per generator (each always completes at least once).
+    """
+    graph = load_dataset(dataset)
+    prepared = PreparedGraph.prepare(graph)
+    order = prepared.search_order(ORDER_BIDEGENERACY)
+
+    def labels_family():
+        return iter_vertex_centred_subgraphs(graph, order)
+
+    def csr_family_cold():
+        return iter_vertex_centred_subgraphs_csr(prepared, list(order))
+
+    def csr_family_warm():
+        return iter_vertex_centred_subgraphs_csr(prepared, order)
+
+    # Materialise both families so a generator that stops early fails the
+    # check instead of truncating the comparison.
+    label_subgraphs = list(labels_family())
+    csr_subgraphs = list(csr_family_cold())
+    families_match = len(label_subgraphs) == len(csr_subgraphs) and all(
+        a.center == b.center
+        and a.position == b.position
+        and a.left_members == b.left_members
+        and a.right_members == b.right_members
+        for a, b in zip(label_subgraphs, csr_subgraphs)
+    )
+    del label_subgraphs, csr_subgraphs
+
+    def consume(family_factory) -> int:
+        return sum(sub.size for sub in family_factory())
+
+    def best_of(family_factory) -> tuple:
+        best_seconds = float("inf")
+        total_size = 0
+        spent = 0.0
+        for _ in range(max(1, repeats)):
+            total_size, elapsed = timed(consume, family_factory)
+            best_seconds = min(best_seconds, elapsed)
+            spent += elapsed
+            if time_budget is not None and spent >= time_budget:
+                break
+        return best_seconds, total_size
+
+    rows: List[Dict[str, object]] = []
+    for generator, family_factory in (
+        (GENERATOR_LABELS, labels_family),
+        (GENERATOR_CSR, csr_family_cold),
+    ):
+        best_seconds, total_size = best_of(family_factory)
+        row = {
+            "stage": "subgraph",
+            "size": dataset,
+            "density": round(graph.density, 5),
+            "generator": generator,
+            "seconds": best_seconds,
+            "subgraphs": graph.num_vertices,
+            "total_size": total_size,
+            "families_match": families_match,
+        }
+        if generator == GENERATOR_CSR:
+            prepared.order_view(order)  # memoise: warm = repeated solves
+            row["warm_seconds"] = best_of(csr_family_warm)[0]
+        rows.append(row)
+    return rows
+
+
+def run_subgraph_comparison(
+    datasets: Sequence[str] = DEFAULT_SUBGRAPH_DATASETS,
+    *,
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Produce all subgraph-generation rows, one per (dataset, generator)."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(
+            run_subgraph_case(dataset, repeats=repeats, time_budget=time_budget)
+        )
+    return rows
+
+
+def run_engine_cache_case(
+    dataset: str,
+    *,
+    backend: str = "sparse",
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Time a cold and a warm engine solve of one stand-in.
+
+    Per repeat a fresh :class:`~repro.api.engine.PreparedGraphCache`
+    backs a private engine and the identical request is solved twice, so
+    the second solve hits the cache and its
+    ``prepare_seconds``/``order_seconds`` stage stats collapse while the
+    answer stays identical (archived as ``sides_match``).  The minimum
+    cold and warm wall times over the repeats are reported — these are
+    tens-of-millisecond solves, so a single pair would be noise — and
+    wall time includes the request's graph materialisation, exactly what
+    a repeated ``solve()`` caller pays.
+    """
+    from repro.api import (
+        GraphSpec,
+        MBBEngine,
+        PreparedGraphCache,
+        SolveRequest,
+    )
+
+    request = SolveRequest(
+        graph=GraphSpec.dataset(dataset),
+        backend=backend,
+        time_budget=time_budget,
+    )
+    density = round(load_dataset(dataset).density, 5)
+    best: Dict[str, tuple] = {}
+    sides = set()
+    for _ in range(max(1, repeats)):
+        engine = MBBEngine(prepared_cache=PreparedGraphCache())
+        for mode in ("cold", "warm"):
+            report, elapsed = timed(engine.solve, request)
+            sides.add(report.side_size)
+            if mode not in best or elapsed < best[mode][1]:
+                best[mode] = (report, elapsed)
+    sides_match = len(sides) == 1
+    rows: List[Dict[str, object]] = []
+    for mode in ("cold", "warm"):
+        report, elapsed = best[mode]
+        rows.append(
+            {
+                "stage": "engine_cache",
+                "size": dataset,
+                "density": density,
+                "mode": mode,
+                "seconds": elapsed,
+                "prepare_seconds": report.stats.get("prepare_seconds", 0.0),
+                "order_seconds": report.stats.get("order_seconds", 0.0),
+                "cache_hits": int(report.stats.get("prepared_cache_hits", 0)),
+                "cache_misses": int(report.stats.get("prepared_cache_misses", 0)),
+                "mbb_side": report.side_size,
+                "timed_out": not report.optimal,
+                "sides_match": sides_match,
+            }
+        )
+    return rows
+
+
+def run_engine_cache_comparison(
+    datasets: Sequence[str] = DEFAULT_ENGINE_CACHE_DATASETS,
+    *,
+    backend: str = "sparse",
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Produce all engine cache rows, one cold/warm pair per dataset."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(
+            run_engine_cache_case(
+                dataset,
+                backend=backend,
+                repeats=repeats,
+                time_budget=time_budget,
+            )
+        )
+    return rows
+
+
 def run_kernel_comparison(
     cases: Sequence[DenseCase] = DEFAULT_KERNEL_CASES,
     *,
@@ -374,18 +608,76 @@ def peel_speedups(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
     ]
 
 
+def subgraph_speedups(
+    rows: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Per-dataset ``labels seconds / csr seconds`` ratios for subgraph rows.
+
+    ``speedup`` is the cold, setup-inclusive ratio; ``warm_speedup`` uses
+    the CSR pass with the order view already memoised (what repeated
+    solves of one graph pay).
+    """
+    return [
+        {
+            "stage": stage,
+            "size": size,
+            "density": density,
+            "labels_seconds": labels_s,
+            "csr_seconds": csr_s,
+            "speedup": labels_s / csr_s if csr_s > 0 else float("inf"),
+            "warm_speedup": (
+                labels_s / float(csr_row["warm_seconds"])  # type: ignore[arg-type]
+                if float(csr_row.get("warm_seconds", 0.0)) > 0  # type: ignore[arg-type]
+                else float("inf")
+            ),
+            "families_match": bool(csr_row.get("families_match")),
+        }
+        for stage, size, density, labels_s, csr_s, _, csr_row in (
+            _paired_cases(rows, "generator", GENERATOR_LABELS, GENERATOR_CSR)
+        )
+    ]
+
+
+def engine_cache_speedups(
+    rows: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Per-dataset ``cold seconds / warm seconds`` ratios for cache rows."""
+    return [
+        {
+            "stage": stage,
+            "size": size,
+            "density": density,
+            "cold_seconds": cold_s,
+            "warm_seconds": warm_s,
+            "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+            "cache_hit": int(warm_row.get("cache_hits", 0)) > 0,
+            "warm_prepare_seconds": warm_row.get("prepare_seconds", 0.0),
+            "sides_match": bool(warm_row.get("sides_match")),
+        }
+        for stage, size, density, cold_s, warm_s, _, warm_row in (
+            _paired_cases(rows, "mode", "cold", "warm")
+        )
+    ]
+
+
 def format_kernel_comparison(
     rows: Sequence[Dict[str, object]],
     bridge_rows: Sequence[Dict[str, object]] = (),
     peel_rows: Sequence[Dict[str, object]] = (),
+    subgraph_rows: Sequence[Dict[str, object]] = (),
+    engine_cache_rows: Sequence[Dict[str, object]] = (),
 ) -> str:
-    """Render raw rows (dense, bridge, peel) plus the speedup summaries."""
+    """Render raw rows (per stage) plus the speedup summaries."""
     summary = speedups(list(rows) + list(bridge_rows))
     sections = [format_table(list(rows))]
     if bridge_rows:
         sections.append(format_table(list(bridge_rows)))
     if peel_rows:
         sections.append(format_table(list(peel_rows)))
+    if subgraph_rows:
+        sections.append(format_table(list(subgraph_rows)))
+    if engine_cache_rows:
+        sections.append(format_table(list(engine_cache_rows)))
     sections.append(
         format_table(summary) if summary else "(no complete kernel pairs)"
     )
@@ -396,6 +688,20 @@ def format_kernel_comparison(
             if peel_summary
             else "(no complete peel pairs)"
         )
+    if subgraph_rows:
+        subgraph_summary = subgraph_speedups(subgraph_rows)
+        sections.append(
+            format_table(subgraph_summary)
+            if subgraph_summary
+            else "(no complete subgraph pairs)"
+        )
+    if engine_cache_rows:
+        cache_summary = engine_cache_speedups(engine_cache_rows)
+        sections.append(
+            format_table(cache_summary)
+            if cache_summary
+            else "(no complete engine cache pairs)"
+        )
     return "\n\n".join(sections)
 
 
@@ -404,14 +710,20 @@ def write_benchmark_json(
     path: str,
     bridge_rows: Sequence[Dict[str, object]] = (),
     peel_rows: Sequence[Dict[str, object]] = (),
+    subgraph_rows: Sequence[Dict[str, object]] = (),
+    engine_cache_rows: Sequence[Dict[str, object]] = (),
 ) -> None:
     """Archive comparison rows (plus speedups) as a JSON document."""
     document = {
         "rows": list(rows),
         "bridge_rows": list(bridge_rows),
         "peel_rows": list(peel_rows),
+        "subgraph_rows": list(subgraph_rows),
+        "engine_cache_rows": list(engine_cache_rows),
         "speedups": speedups(list(rows) + list(bridge_rows)),
         "peel_speedups": peel_speedups(peel_rows),
+        "subgraph_speedups": subgraph_speedups(subgraph_rows),
+        "engine_cache_speedups": engine_cache_speedups(engine_cache_rows),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)

@@ -182,7 +182,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="kernels artefact only: run a reduced sweep (two dense cases, "
-        "one bridge dataset, one peel dataset) suitable for CI smoke checks",
+        "one dataset per bridge/peel/subgraph/engine-cache comparison) "
+        "suitable for CI smoke checks",
     )
     return parser
 
@@ -353,12 +354,16 @@ def _command_bench(args: argparse.Namespace) -> int:
             cases = kernels.SMOKE_KERNEL_CASES
             datasets = kernels.SMOKE_BRIDGE_DATASETS
             peel_datasets = kernels.SMOKE_PEEL_DATASETS
+            subgraph_datasets = kernels.SMOKE_SUBGRAPH_DATASETS
+            cache_datasets = kernels.SMOKE_ENGINE_CACHE_DATASETS
             instances = 1
             peel_repeats = 1
         else:
             cases = kernels.DEFAULT_KERNEL_CASES
             datasets = kernels.DEFAULT_BRIDGE_DATASETS
             peel_datasets = kernels.DEFAULT_PEEL_DATASETS
+            subgraph_datasets = kernels.DEFAULT_SUBGRAPH_DATASETS
+            cache_datasets = kernels.DEFAULT_ENGINE_CACHE_DATASETS
             instances = 2
             peel_repeats = 3
         rows = kernels.run_kernel_comparison(
@@ -368,9 +373,26 @@ def _command_bench(args: argparse.Namespace) -> int:
         peel_rows = kernels.run_peel_comparison(
             peel_datasets, repeats=peel_repeats, time_budget=budget
         )
-        print(kernels.format_kernel_comparison(rows, bridge_rows, peel_rows))
+        subgraph_rows = kernels.run_subgraph_comparison(
+            subgraph_datasets, repeats=peel_repeats, time_budget=budget
+        )
+        engine_cache_rows = kernels.run_engine_cache_comparison(
+            cache_datasets, repeats=peel_repeats, time_budget=budget
+        )
+        print(
+            kernels.format_kernel_comparison(
+                rows, bridge_rows, peel_rows, subgraph_rows, engine_cache_rows
+            )
+        )
         if args.write_json:
-            kernels.write_benchmark_json(rows, args.write_json, bridge_rows, peel_rows)
+            kernels.write_benchmark_json(
+                rows,
+                args.write_json,
+                bridge_rows,
+                peel_rows,
+                subgraph_rows,
+                engine_cache_rows,
+            )
             print(f"\narchived rows to {args.write_json}")
     elif args.artefact == "table4":
         print(table4.format_table4(table4.run_table4(time_budget=budget, instances=1)))

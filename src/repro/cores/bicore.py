@@ -217,17 +217,37 @@ def _peel_exact_flat(
 
 
 def _peel_flat(
-    graph: BipartiteGraph, peel
+    graph: BipartiteGraph, peel, prepared=None
 ) -> Tuple[Dict[VertexKey, int], List[VertexKey]]:
-    """Run a flat-engine peel and translate ids back to vertex keys."""
-    csr = CSRBipartite.from_bipartite(graph)
-    le2_ptr, le2 = n_le2_flat(csr)
+    """Run a flat-engine peel and translate ids back to vertex keys.
+
+    When a :class:`~repro.graph.prepared.PreparedGraph` is supplied its
+    CSR snapshot and flat ``N_{<=2}`` arrays are reused instead of being
+    re-derived — the whole point of preparing a graph once.
+    """
+    if prepared is not None:
+        csr = prepared.csr
+        le2_ptr, le2 = prepared.n_le2
+    else:
+        csr = CSRBipartite.from_bipartite(graph)
+        le2_ptr, le2 = n_le2_flat(csr)
     bicore, order = peel(csr, le2_ptr, le2)
     keys = csr.keys
     return (
         {keys[i]: value for i, value in enumerate(bicore)},
         [keys[i] for i in order],
     )
+
+
+def flat_bicore_decomposition(
+    prepared,
+) -> Tuple[Dict[VertexKey, int], List[VertexKey]]:
+    """Bucket peel over an existing prepared snapshot (no re-indexing).
+
+    This is the entry point :meth:`repro.graph.prepared.PreparedGraph.
+    bicore_decomposition` memoises; calling it directly always re-peels.
+    """
+    return _peel_flat(prepared.graph, _peel_bucket_flat, prepared=prepared)
 
 
 # ----------------------------------------------------------------------
@@ -301,7 +321,7 @@ def _peel_heap(
 # public API
 # ----------------------------------------------------------------------
 def bicore_decomposition(
-    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET
+    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET, prepared=None
 ) -> Tuple[Dict[VertexKey, int], List[VertexKey]]:
     """Bicore numbers and peel order in one pass.
 
@@ -311,41 +331,58 @@ def bicore_decomposition(
         One of :data:`IMPL_BUCKET` (default), :data:`IMPL_HEAP`,
         :data:`IMPL_EXACT`.  All three return identical results; they
         differ only in speed (see the module docstring).
+    prepared:
+        Optional :class:`~repro.graph.prepared.PreparedGraph` of exactly
+        this graph.  The flat engines (bucket, exact) then reuse its CSR
+        snapshot and ``N_{<=2}`` arrays instead of re-indexing, and the
+        default bucket peel reuses the bundle's memoised decomposition
+        (returned as fresh containers, safe from caller mutation).  The
+        heap ablation keys on labels and ignores it.  A snapshot built
+        from a different graph is rejected.
     """
+    if prepared is not None:
+        from repro.graph.prepared import ensure_prepared_for
+
+        ensure_prepared_for(prepared, graph)
     if impl == IMPL_BUCKET:
+        if prepared is not None:
+            numbers, order = prepared.bicore_decomposition()
+            return dict(numbers), list(order)
         return _peel_flat(graph, _peel_bucket_flat)
     if impl == IMPL_HEAP:
         return _peel_heap(graph)
     if impl == IMPL_EXACT:
-        return _peel_flat(graph, _peel_exact_flat)
+        return _peel_flat(graph, _peel_exact_flat, prepared=prepared)
     raise InvalidParameterError(
         f"unknown bicore impl {impl!r}; expected one of {ALL_IMPLS}"
     )
 
 
 def bicore_numbers(
-    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET
+    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET, prepared=None
 ) -> Dict[VertexKey, int]:
     """Bicore number of every vertex, keyed by ``(side, label)``."""
-    bicore, _ = bicore_decomposition(graph, impl=impl)
+    bicore, _ = bicore_decomposition(graph, impl=impl, prepared=prepared)
     return bicore
 
 
-def bidegeneracy(graph: BipartiteGraph, *, impl: str = IMPL_BUCKET) -> int:
+def bidegeneracy(
+    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET, prepared=None
+) -> int:
     """Bidegeneracy ``δ̈(G)``: the maximum bicore number (0 if empty)."""
-    numbers = bicore_numbers(graph, impl=impl)
+    numbers = bicore_numbers(graph, impl=impl, prepared=prepared)
     return max(numbers.values(), default=0)
 
 
 def bidegeneracy_order(
-    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET
+    graph: BipartiteGraph, *, impl: str = IMPL_BUCKET, prepared=None
 ) -> List[VertexKey]:
     """A bidegeneracy order (Definition 5) of all vertices.
 
     Every vertex has the smallest remaining ``|N_{<=2}|`` in the subgraph
     induced by itself and the vertices after it in the returned list.
     """
-    _, order = bicore_decomposition(graph, impl=impl)
+    _, order = bicore_decomposition(graph, impl=impl, prepared=prepared)
     return order
 
 

@@ -52,7 +52,9 @@ def degree_order(graph: BipartiteGraph) -> List[VertexKey]:
     return sorted(keys, key=sort_key)
 
 
-def search_order(graph: BipartiteGraph, order: str) -> List[VertexKey]:
+def search_order(
+    graph: BipartiteGraph, order: str, *, prepared=None
+) -> List[VertexKey]:
     """Return the requested total search order over all vertices.
 
     The bidegeneracy order runs on the default flat bucket engine; callers
@@ -65,7 +67,20 @@ def search_order(graph: BipartiteGraph, order: str) -> List[VertexKey]:
     order:
         One of :data:`ORDER_DEGREE`, :data:`ORDER_DEGENERACY`,
         :data:`ORDER_BIDEGENERACY`.
+    prepared:
+        Optional :class:`~repro.graph.prepared.PreparedGraph` of exactly
+        this graph; the order is then computed from (and memoised on) the
+        snapshot, so a repeated solve never re-peels.  A fresh list is
+        returned (the memoised one stays private to the snapshot, safe
+        from caller mutation), and a snapshot built from a different
+        graph is rejected.  Unknown order names are still rejected here
+        either way.
     """
+    if prepared is not None and order in ALL_ORDERS:
+        from repro.graph.prepared import ensure_prepared_for
+
+        ensure_prepared_for(prepared, graph)
+        return list(prepared.search_order(order))
     if order == ORDER_DEGREE:
         return degree_order(graph)
     if order == ORDER_DEGENERACY:

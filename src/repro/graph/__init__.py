@@ -8,6 +8,10 @@ The public surface of this package is:
   view of a bipartite graph; the branch-and-bound kernels run on it.
 * :class:`~repro.graph.csr.CSRBipartite` — immutable flat CSR adjacency
   snapshot over dense int vertex ids; the bicore peel runs on it.
+* :class:`~repro.graph.prepared.PreparedGraph` — once-indexed bundle of
+  the CSR snapshot plus lazily memoised solve artifacts (``N_{<=2}``
+  arrays, search orders, position arrays); threaded through the whole
+  sparse framework and cached per graph by the engine.
 * :func:`~repro.graph.complement.bipartite_complement` — the bipartite
   complement used by the polynomial-case solver.
 * :mod:`~repro.graph.generators` — random and structured graph generators.
@@ -25,6 +29,11 @@ from repro.graph.bitset import (
 )
 from repro.graph.complement import bipartite_complement, complement_density
 from repro.graph.csr import CSRBipartite
+from repro.graph.prepared import (
+    PreparedGraph,
+    ensure_prepared_for,
+    graph_fingerprint,
+)
 from repro.graph import generators, io, validation
 
 __all__ = [
@@ -32,6 +41,9 @@ __all__ = [
     "RIGHT",
     "BipartiteGraph",
     "CSRBipartite",
+    "PreparedGraph",
+    "ensure_prepared_for",
+    "graph_fingerprint",
     "IndexedBitGraph",
     "iter_bits",
     "k_core_masks",

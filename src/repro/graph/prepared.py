@@ -1,0 +1,376 @@
+"""The :class:`PreparedGraph` artifact: one CSR snapshot for a whole solve.
+
+The sparse framework (``hbvMBB``) derives everything it needs — the
+``N_{<=2}`` structure, the total search order, the vertex-centred
+subgraphs — from one immutable input graph, yet each of those artifacts
+historically re-indexed the label-keyed :class:`~repro.graph.bipartite.
+BipartiteGraph` from scratch.  A :class:`PreparedGraph` is the bundle
+that breaks the cycle: the graph is indexed **once** into a
+:class:`~repro.graph.csr.CSRBipartite` snapshot, and every derived
+artifact is computed lazily from the flat arrays and memoised on the
+bundle:
+
+* the flat ``N_{<=2}`` adjacency (:attr:`PreparedGraph.n_le2`) the
+  bidegeneracy peel consumes;
+* the three total search orders (:meth:`PreparedGraph.search_order`),
+  memoised per order name so a repeated solve of the same graph never
+  re-peels;
+* the position-space adjacency views (:meth:`PreparedGraph.order_view`)
+  the CSR centred-subgraph generator walks;
+* prepared snapshots of core-reduction residuals
+  (:meth:`PreparedGraph.for_subgraph`), so S1's Lemma 4 reduction only
+  triggers a re-index when it actually shrinks the graph.
+
+The bundle is immutable in the same by-convention sense as
+:class:`CSRBipartite` and :class:`~repro.graph.bitset.IndexedBitGraph`:
+it does not track later mutations of the source graph.  Memoisation only
+ever *adds* derived data, so sharing one bundle across repeated solves
+(what :class:`repro.api.engine.PreparedGraphCache` does) is safe.
+
+Identity for caching purposes is the **content fingerprint**
+(:func:`graph_fingerprint`): a digest over the ``repr``-sorted vertex
+sets and edge list, so two graphs built in different insertion orders
+hash equal exactly when they are equal.  Fingerprints are a cache *key*,
+not a proof — the engine cache re-verifies equality on every hit, so a
+collision can cost a re-preparation but never leaks one graph's arrays
+into another graph's solve.
+
+Layering note: this module lives in :mod:`repro.graph` because the
+bundle *is* graph substrate (every layer above consumes it), but the
+order computations it memoises live in :mod:`repro.cores`; those are
+imported lazily inside the memoising methods to keep the package import
+graph acyclic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph, Vertex
+from repro.graph.csr import CSRBipartite
+
+VertexKey = Tuple[str, Vertex]
+
+
+def ensure_prepared_for(
+    prepared: "PreparedGraph", graph: BipartiteGraph
+) -> None:
+    """Raise unless ``prepared`` was built from (an equal of) ``graph``.
+
+    Every API that accepts a ``prepared=`` snapshot alongside a graph
+    calls this first: shape alone is not enough — a same-shape snapshot
+    of a different graph would silently have *its* edges decomposed or
+    searched instead of the argument graph's.  The identity fast path
+    makes the check free on the internal flows, which always pass the
+    snapshot's own graph object.
+    """
+    if prepared.graph is not graph and prepared.graph != graph:
+        raise InvalidParameterError(
+            "prepared snapshot was built from a different graph than the "
+            "one passed alongside it"
+        )
+
+#: How many core-reduction residual snapshots one bundle memoises.  The
+#: residual chain of a deterministic solve has very few distinct sizes
+#: (the heuristic finds the same incumbent every time), so a handful of
+#: slots amortises repeated solves without letting an adversarial caller
+#: grow the bundle without bound.
+_MAX_CHILDREN = 4
+
+
+def graph_fingerprint(graph: BipartiteGraph) -> str:
+    """Content fingerprint of a graph: equal content, equal digest.
+
+    The digest covers both sorted vertex label sets and the full
+    adjacency, every entry by ``repr``, so insertion order does not
+    matter: two graphs that compare equal under ``==`` fingerprint
+    equal.  Distinct graphs can only collide through ``repr`` collisions
+    between distinct labels (or a pathological ``repr`` containing the
+    joiner characters) — acceptable for a cache key because the engine
+    cache re-checks ``==`` on every hit, so a collision costs a
+    re-preparation, never a wrong answer.
+
+    The whole payload is assembled as one string and hashed in a single
+    ``blake2b`` update, so the cost is one ``repr`` per vertex plus
+    C-level sorts, joins and hashing — cheap enough to run once per
+    engine solve.
+    """
+    right_repr = {v: repr(v) for v in graph.right_vertices()}
+    parts: List[str] = [f"L{graph.num_left}"]
+    parts.extend(sorted(map(repr, graph.left_vertices())))
+    parts.append(f"R{graph.num_right}")
+    parts.extend(sorted(right_repr.values()))
+    parts.append(f"E{graph.num_edges}")
+    rows = [
+        "{}>{}".format(
+            repr(u),
+            ",".join(sorted(right_repr[v] for v in graph.neighbors_left(u))),
+        )
+        for u in graph.left_vertices()
+    ]
+    rows.sort()
+    parts.extend(rows)
+    payload = "\n".join(parts)
+    return hashlib.blake2b(
+        payload.encode("utf-8", "backslashreplace"), digest_size=16
+    ).hexdigest()
+
+
+class PreparedGraph:
+    """Immutable once-indexed bundle of a graph's flat solve artifacts."""
+
+    __slots__ = (
+        "graph",
+        "csr",
+        "labels",
+        "_fingerprint",
+        "_le2",
+        "_orders",
+        "_views",
+        "_bicore",
+        "_children",
+    )
+
+    def __init__(self, graph: BipartiteGraph, csr: CSRBipartite) -> None:
+        self.graph = graph
+        self.csr = csr
+        #: Label of every dense id (the ``(side, label)`` key minus the
+        #: side marker): the id→label boundary map of the CSR subgraph
+        #: generator, precomputed so the hot loop never indexes tuples.
+        self.labels: List[Vertex] = [key[1] for key in csr.keys]
+        self._fingerprint: Optional[str] = None
+        self._le2: Optional[Tuple[List[int], List[int]]] = None
+        self._orders: Dict[str, List[VertexKey]] = {}
+        self._views: Dict[str, "OrderView"] = {}
+        self._bicore: Optional[
+            Tuple[Dict[VertexKey, int], List[VertexKey]]
+        ] = None
+        self._children: Dict[Tuple[int, int, int], "PreparedGraph"] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def prepare(cls, graph: BipartiteGraph) -> "PreparedGraph":
+        """Index ``graph`` once and return the prepared bundle."""
+        return cls(graph, CSRBipartite.from_bipartite(graph))
+
+    # ------------------------------------------------------------------
+    # memoised derived artifacts
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the source graph (lazy, cached)."""
+        if self._fingerprint is None:
+            self._fingerprint = graph_fingerprint(self.graph)
+        return self._fingerprint
+
+    @property
+    def n_le2(self) -> Tuple[List[int], List[int]]:
+        """The flat ``N_{<=2}`` adjacency ``(indptr, indices)`` (cached)."""
+        if self._le2 is None:
+            from repro.cores.two_hop import n_le2_flat
+
+            self._le2 = n_le2_flat(self.csr)
+        return self._le2
+
+    def bicore_decomposition(
+        self,
+    ) -> Tuple[Dict[VertexKey, int], List[VertexKey]]:
+        """Bucket-peel bicore numbers and peel order (cached).
+
+        Runs the default flat engine of :mod:`repro.cores.bicore` on this
+        bundle's CSR and ``N_{<=2}`` arrays — no re-indexing — and
+        memoises the result, so every later consumer (the bidegeneracy
+        order, repeated solves) gets it for free.  The returned
+        containers are the memoised objects: treat them as immutable
+        (the public :func:`repro.cores.bicore.bicore_decomposition`
+        wrapper hands out copies).
+        """
+        if self._bicore is None:
+            from repro.cores.bicore import flat_bicore_decomposition
+
+            self._bicore = flat_bicore_decomposition(self)
+        return self._bicore
+
+    def search_order(self, order: str) -> List[VertexKey]:
+        """The requested total search order (memoised per order name).
+
+        Accepts the same names as :func:`repro.cores.orders.search_order`
+        and produces identical orders: the degree order falls out of the
+        CSR id order directly (ids *are* the ``(side, repr(label))``
+        tie-break), the degeneracy order delegates to the label-keyed
+        peel, and the bidegeneracy order reuses
+        :meth:`bicore_decomposition`.
+
+        The returned list is the memoised object — treat it as immutable
+        (mutating it would corrupt every later solve of this graph); its
+        identity is also what keys the :meth:`order_view` memoisation.
+        The public :func:`repro.cores.orders.search_order` wrapper hands
+        out copies instead.
+        """
+        cached = self._orders.get(order)
+        if cached is None:
+            cached = self._compute_order(order)
+            self._orders[order] = cached
+        return cached
+
+    def _compute_order(self, order: str) -> List[VertexKey]:
+        from repro.cores.orders import (
+            ORDER_BIDEGENERACY,
+            ORDER_DEGENERACY,
+            ORDER_DEGREE,
+            search_order,
+        )
+
+        if order == ORDER_DEGREE:
+            # Dense ids are assigned left side first, ``repr``-sorted per
+            # side, so sorting ids by ``(-degree, id)`` is exactly the
+            # label-keyed ``(-degree, side, repr(label))`` key.
+            csr = self.csr
+            ids = sorted(range(csr.num_vertices), key=lambda i: (-csr.degree(i), i))
+            keys = csr.keys
+            return [keys[i] for i in ids]
+        if order == ORDER_BIDEGENERACY:
+            return list(self.bicore_decomposition()[1])
+        if order == ORDER_DEGENERACY:
+            return search_order(self.graph, order)
+        # Unknown names fall through to the canonical validator so the
+        # error message stays in one place.
+        return search_order(self.graph, order)
+
+    def order_view(self, order: List[VertexKey]) -> "OrderView":
+        """The position-space adjacency view for a total order.
+
+        When ``order`` is (the exact list object of) one of this bundle's
+        memoised :meth:`search_order` results, the view is memoised too —
+        which is how a repeated solve of one graph generates its centred
+        subgraphs without rebuilding anything.  Arbitrary order lists get
+        a fresh view.
+        """
+        for name, cached in self._orders.items():
+            if cached is order:
+                view = self._views.get(name)
+                if view is None:
+                    view = OrderView(self, order)
+                    self._views[name] = view
+                return view
+        return OrderView(self, order)
+
+    # ------------------------------------------------------------------
+    # residual snapshots
+    # ------------------------------------------------------------------
+    def for_subgraph(self, residual: BipartiteGraph) -> "PreparedGraph":
+        """A prepared snapshot for a reduction residual of this graph.
+
+        Returns ``self`` when ``residual`` has this graph's exact shape
+        (the Lemma 4 reduction removed nothing — induced subgraphs of one
+        graph are determined by their vertex sets, so equal counts mean
+        equal content).  Otherwise the residual's own snapshot is
+        prepared and memoised, keyed by its shape: the ``k``-cores of one
+        graph are nested, so within one reduction chain the shape
+        identifies the residual — and a full equality check guards the
+        lookup anyway, because this bundle may outlive a single solve in
+        the engine cache.
+        """
+        shape = (residual.num_left, residual.num_right, residual.num_edges)
+        if shape == (
+            self.graph.num_left,
+            self.graph.num_right,
+            self.graph.num_edges,
+        ):
+            return self
+        child = self._children.get(shape)
+        if child is not None and child.graph == residual:
+            return child
+        child = PreparedGraph.prepare(residual)
+        if len(self._children) >= _MAX_CHILDREN:
+            self._children.pop(next(iter(self._children)))
+        self._children[shape] = child
+        return child
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PreparedGraph({self.csr!r})"
+
+
+class OrderView:
+    """A prepared snapshot re-indexed along one total search order.
+
+    Everything is in *position space*: vertex ``p`` is the order's
+    ``p``-th vertex, and ``adjacency[p]`` holds the positions of its
+    neighbours **sorted ascending**.  That sort is the whole trick: the
+    neighbours appearing *after* position ``p`` — the only ones
+    vertex-centred subgraph generation ever looks at — are a contiguous
+    tail located by one binary search, so the generator touches later
+    vertices only instead of filtering every neighbour with a comparison
+    (on average half the neighbourhood volume, with no per-element test).
+
+    Building a view costs one pass over the adjacency plus per-row sorts
+    (``O(|E| log dmax)``); :meth:`PreparedGraph.order_view` memoises it
+    per order name, so one build serves every solve of the graph.
+    """
+
+    __slots__ = (
+        "prepared",
+        "order_ids",
+        "positions",
+        "adjacency",
+        "label_rows",
+        "is_left",
+        "labels",
+    )
+
+    def __init__(self, prepared: "PreparedGraph", order: List[VertexKey]) -> None:
+        csr = prepared.csr
+        indptr = csr.indptr
+        indices = csr.indices
+        self.prepared = prepared
+        self.order_ids, self.positions = positions_of(csr, order)
+        positions = self.positions
+        self.adjacency: List[List[int]] = [
+            sorted(
+                positions[neighbour]
+                for neighbour in indices[indptr[vertex] : indptr[vertex + 1]]
+            )
+            for vertex in self.order_ids
+        ]
+        num_left = csr.num_left
+        self.is_left: List[bool] = [
+            vertex < num_left for vertex in self.order_ids
+        ]
+        #: Label of the vertex at each position — the id→label boundary
+        #: map in position space, so member-set construction is one list
+        #: index per member.
+        self.labels: List[Vertex] = [
+            prepared.labels[vertex] for vertex in self.order_ids
+        ]
+        labels = self.labels
+        #: Each adjacency row translated to labels, element-aligned with
+        #: :attr:`adjacency`: a later-tail of labels is then one slice
+        #: that feeds ``set.update`` directly — member sets build in C
+        #: with no per-element mapping at all.
+        self.label_rows: List[List[Vertex]] = [
+            [labels[p] for p in row] for row in self.adjacency
+        ]
+
+    def __len__(self) -> int:
+        return len(self.order_ids)
+
+
+def positions_of(
+    csr: CSRBipartite, order: List[VertexKey]
+) -> Tuple[List[int], List[int]]:
+    """Map a key-space total order onto ``(order_ids, positions)`` arrays.
+
+    ``order`` must be a permutation of the snapshot's vertex keys (the
+    bridging stage validates this before generating subgraphs); a foreign
+    key raises ``KeyError`` exactly like the label-keyed position maps.
+    """
+    index = csr.index_of
+    order_ids = [index(key) for key in order]
+    positions = [0] * len(order_ids)
+    for position, vertex in enumerate(order_ids):
+        positions[vertex] = position
+    return order_ids, positions

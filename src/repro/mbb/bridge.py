@@ -42,6 +42,7 @@ from typing import List, Optional, Sequence
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph
 from repro.graph.bitset import core_numbers_masks
+from repro.graph.prepared import PreparedGraph, ensure_prepared_for
 from repro.cores.core import core_numbers
 from repro.cores.orders import ORDER_BIDEGENERACY, search_order
 from repro.mbb.context import SearchAborted, SearchContext
@@ -52,6 +53,7 @@ from repro.mbb.vertex_centred import (
     VertexCentredSubgraph,
     VertexKey,
     iter_vertex_centred_subgraphs,
+    iter_vertex_centred_subgraphs_csr,
 )
 
 
@@ -138,6 +140,7 @@ def bridge_mbb(
     use_local_heuristic: bool = True,
     kernel: str = KERNEL_BITS,
     total_order: Optional[Sequence[VertexKey]] = None,
+    prepared: Optional[PreparedGraph] = None,
 ) -> BridgeOutcome:
     """Run the bridging stage on the (already reduced) residual graph.
 
@@ -171,6 +174,15 @@ def bridge_mbb(
         ``order_seconds`` stage stat, repeated solves on one residual
         graph, or the kernel benchmarks isolating the data-structure
         effect — pass it here to skip the recomputation.
+    prepared:
+        Optional :class:`~repro.graph.prepared.PreparedGraph` of exactly
+        this graph.  The default ``bits`` kernel generates the centred
+        subgraphs from its CSR snapshot
+        (:func:`~repro.mbb.vertex_centred.iter_vertex_centred_subgraphs_csr`),
+        preparing one on the fly when none is passed; the ``sets``
+        ablation keeps the label-keyed generator.  Both generators yield
+        identical subgraphs in identical order (property-tested), so the
+        kernels still keep the same survivors and incumbents.
     """
     if kernel not in (KERNEL_BITS, KERNEL_SETS):
         raise InvalidParameterError(
@@ -181,9 +193,11 @@ def bridge_mbb(
     if graph.num_vertices == 0:
         return outcome
 
+    if prepared is not None:
+        ensure_prepared_for(prepared, graph)
     scan = _scan_bits if kernel == KERNEL_BITS else _scan_sets
     if total_order is None:
-        total_order = search_order(graph, order)
+        total_order = search_order(graph, order, prepared=prepared)
     else:
         # A stale order (e.g. computed before the heuristic stage's core
         # reductions shrank the graph) would otherwise surface as a bare
@@ -196,10 +210,19 @@ def bridge_mbb(
                 "(side, label) vertex keys; it covers a different vertex set "
                 "(was it computed on a pre-reduction graph?)"
             )
+    if kernel == KERNEL_BITS:
+        # The default pipeline walks the flat CSR snapshot; the ``sets``
+        # ablation keeps the label-keyed generator so the historical
+        # tuple-hashing S2 loop stays measurable.
+        if prepared is None:
+            prepared = PreparedGraph.prepare(graph)
+        subgraphs = iter_vertex_centred_subgraphs_csr(prepared, total_order)
+    else:
+        subgraphs = iter_vertex_centred_subgraphs(graph, total_order)
     surviving: List[VertexCentredSubgraph] = []
     local_best = Biclique.empty()
     try:
-        for sub in iter_vertex_centred_subgraphs(graph, total_order):
+        for sub in subgraphs:
             context.checkpoint()
             context.stats.subgraphs_generated += 1
             target = context.best_side + 1

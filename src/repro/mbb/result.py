@@ -100,9 +100,19 @@ class SearchStats:
     local_heuristic_side: int = 0
     #: Wall seconds spent computing the total search order (the bridging
     #: stage's kernel-independent fixed cost, the ``bdegOrder`` overhead
-    #: column of Table 6).  The only non-count stat; 0.0 when the solve
-    #: never reached the bridging stage or was handed a precomputed order.
+    #: column of Table 6).  0.0 when the solve never reached the bridging
+    #: stage, was handed a precomputed order, or hit a prepared snapshot
+    #: whose memoised order made the computation free.
     order_seconds: float = 0.0
+    #: Wall seconds spent locating/building prepared graph snapshots
+    #: (CSR indexing plus cache lookups; the lazily derived artifacts are
+    #: charged to the stage that asks for them, e.g. the bidegeneracy
+    #: peel to :attr:`order_seconds`).  ≈ 0 on an engine cache hit.
+    prepare_seconds: float = 0.0
+    #: Engine prepared-graph cache hits/misses attributable to this
+    #: solve (0/0 for backends that never touch the cache).
+    prepared_cache_hits: int = 0
+    prepared_cache_misses: int = 0
 
     def record_node(self, depth: int) -> None:
         """Record entry into a branch-and-bound node at the given depth."""
@@ -149,6 +159,9 @@ class SearchStats:
             self.local_heuristic_side, other.local_heuristic_side
         )
         self.order_seconds += other.order_seconds
+        self.prepare_seconds += other.prepare_seconds
+        self.prepared_cache_hits += other.prepared_cache_hits
+        self.prepared_cache_misses += other.prepared_cache_misses
 
 
 #: Step labels reported by the sparse framework (Table 5, column "hbvMBB").

@@ -20,6 +20,18 @@ pipeline nor the :class:`~repro.graph.bipartite.BipartiteGraph` used by the
 ``sets`` ablation — is materialised until a consumer asks for it, and each
 is built at most once: the bitgraph the bridging stage builds for its core
 prunes is the very object the verification stage searches.
+
+Two generators produce the family.  :func:`iter_vertex_centred_subgraphs`
+is the historical label-keyed one: per centre it hashes every visited
+neighbour label against per-side position dicts.  The default pipeline
+uses :func:`iter_vertex_centred_subgraphs_csr` instead, which walks the
+position-space adjacency view of a :class:`~repro.graph.prepared.
+PreparedGraph` snapshot (flat arrays derived from CSR ``indptr``/
+``indices``, re-indexed and sorted along the order) — later members are
+binary-searched contiguous tails and labels appear only at the
+member-set boundary, so the yielded subgraphs (and everything downstream
+of them) are byte-identical to the label-keyed generator's, which stays
+selectable as the ``sets``-kernel ablation.
 """
 
 from __future__ import annotations
@@ -29,6 +41,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
 from repro.graph.bitset import IndexedBitGraph
+from repro.graph.prepared import PreparedGraph, ensure_prepared_for
 
 VertexKey = Tuple[str, Vertex]
 
@@ -85,8 +98,32 @@ class VertexCentredSubgraph:
 
     @property
     def density(self) -> float:
-        """Edge density of the centred subgraph (Figure 6 metric)."""
-        return self.to_bitgraph().density
+        """Edge density of the centred subgraph (Figure 6 metric).
+
+        Counted directly from the member sets against the parent's
+        adjacency (iterating the smaller side), so profiling the family —
+        most of which no search will ever touch — does not pay the full
+        bitset indexing of :meth:`to_bitgraph` per subgraph.  A bitgraph
+        that some stage already materialised is reused instead.
+        """
+        if self._bitgraph is not None:
+            return self._bitgraph.density
+        num_left = len(self.left_members)
+        num_right = len(self.right_members)
+        if not num_left or not num_right:
+            return 0.0
+        parent = self.parent
+        if num_left <= num_right:
+            edges = sum(
+                len(parent.neighbors_left(u) & self.right_members)
+                for u in self.left_members
+            )
+        else:
+            edges = sum(
+                len(parent.neighbors_right(v) & self.left_members)
+                for v in self.right_members
+            )
+        return edges / (num_left * num_right)
 
     @property
     def graph(self) -> BipartiteGraph:
@@ -201,23 +238,117 @@ def iter_vertex_centred_subgraphs(
         yield _vertex_centred_subgraph(graph, key, left_pos, right_pos, index)
 
 
-def total_subgraph_size(graph: BipartiteGraph, order: Sequence[VertexKey]) -> int:
-    """Total number of vertices over all centred subgraphs (Lemmas 6-8)."""
-    return sum(sub.size for sub in iter_vertex_centred_subgraphs(graph, order))
+def iter_vertex_centred_subgraphs_csr(
+    prepared: PreparedGraph,
+    order: Sequence[VertexKey],
+) -> Iterator[VertexCentredSubgraph]:
+    """CSR counterpart of :func:`iter_vertex_centred_subgraphs`.
+
+    Walks the flat position-space adjacency of the snapshot's
+    :class:`~repro.graph.prepared.OrderView`: every row is sorted
+    ascending by order position, so the neighbours *after* the centre —
+    the only vertices a centred subgraph may contain — are a contiguous
+    tail found by one :func:`bisect.bisect_right` per visited row.  The
+    generator therefore touches later vertices only (no per-neighbour
+    position test), and the member sets are built by C-level set unions
+    over the element-aligned label-row tails, so positions cross back to
+    labels at the member-set boundary with no Python-level inner loop at
+    all.  The yielded :class:`VertexCentredSubgraph` objects — member
+    sets, positions and iteration order — are identical to the
+    label-keyed generator's (property-tested), so both kernels consume
+    them unchanged.
+    """
+    from bisect import bisect_right
+
+    view = prepared.order_view(order if isinstance(order, list) else list(order))
+    adjacency = view.adjacency
+    label_rows = view.label_rows
+    is_left = view.is_left
+    order_ids = view.order_ids
+    labels = view.labels
+    keys = prepared.csr.keys
+    total = len(order_ids)
+    make_subgraph = VertexCentredSubgraph
+    parent = prepared.graph
+    for position in range(total):
+        row = adjacency[position]
+        cut = bisect_right(row, position)
+        if cut == len(row):
+            # No later neighbours: the centred subgraph is the bare
+            # centre.  Late-order centres hit this constantly, so skip
+            # the set machinery entirely.
+            own_members = {labels[position]}
+            other_members: Set[Vertex] = set()
+        else:
+            other_members = set(label_rows[position][cut:])
+            # The 2-hop union runs entirely in C: per later neighbour,
+            # one binary search plus one set.update over the later-tail
+            # slice of its label row — no Python-level inner loop, no
+            # per-element mapping.
+            own_members = set()
+            update = own_members.update
+            for neighbour in row[cut:]:
+                neighbour_row = adjacency[neighbour]
+                update(
+                    label_rows[neighbour][
+                        bisect_right(neighbour_row, position) :
+                    ]
+                )
+            own_members.add(labels[position])
+        if is_left[position]:
+            left_members, right_members = own_members, other_members
+        else:
+            left_members, right_members = other_members, own_members
+        yield make_subgraph(
+            center=keys[order_ids[position]],
+            position=position,
+            left_members=left_members,
+            right_members=right_members,
+            parent=parent,
+        )
+
+
+def total_subgraph_size(
+    graph: BipartiteGraph,
+    order: Sequence[VertexKey],
+    *,
+    prepared: Optional[PreparedGraph] = None,
+) -> int:
+    """Total number of vertices over all centred subgraphs (Lemmas 6-8).
+
+    Runs on the CSR generator; pass the ``prepared`` snapshot when the
+    caller already holds one (the Figure 6 metrics share a single
+    snapshot across all three orders) to skip re-indexing.
+    """
+    if prepared is None:
+        prepared = PreparedGraph.prepare(graph)
+    else:
+        ensure_prepared_for(prepared, graph)
+    return sum(
+        sub.size for sub in iter_vertex_centred_subgraphs_csr(prepared, order)
+    )
 
 
 def subgraph_density_profile(
-    graph: BipartiteGraph, order: Sequence[VertexKey]
+    graph: BipartiteGraph,
+    order: Sequence[VertexKey],
+    *,
+    prepared: Optional[PreparedGraph] = None,
 ) -> List[float]:
     """Densities of all centred subgraphs with at least one edge candidate.
 
     Subgraphs whose centre has no later neighbours are skipped, matching
     how the paper reports the *average density of vertex centred
     subgraphs* in Figure 6 (empty slices would otherwise dominate the
-    average with zeros).
+    average with zeros).  Like :func:`total_subgraph_size` this runs on
+    the CSR generator and accepts a shared ``prepared`` snapshot.
     """
+    if prepared is None:
+        prepared = PreparedGraph.prepare(graph)
+    else:
+        ensure_prepared_for(prepared, graph)
     densities: List[float] = []
-    for sub in iter_vertex_centred_subgraphs(graph, order):
+    for sub in iter_vertex_centred_subgraphs_csr(prepared, order):
         if sub.num_left > 0 and sub.num_right > 0:
             density = sub.density
             if density > 0.0:

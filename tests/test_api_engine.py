@@ -230,6 +230,23 @@ class TestSolveMany:
         with pytest.raises(InvalidParameterError):
             MBBEngine().solve_many(requests)
 
+    def test_serial_batch_over_one_graph_amortises_preparation(self):
+        from repro.api import PreparedGraphCache
+
+        engine = MBBEngine(prepared_cache=PreparedGraphCache())
+        requests = [
+            SolveRequest(
+                graph=GraphSpec.power_law(30, 30, 3.0, seed=7),
+                backend="sparse",
+                tag=str(index),
+            )
+            for index in range(3)
+        ]
+        reports = engine.solve_many(requests, parallel=False)
+        assert [r.stats["prepared_cache_hits"] for r in reports] == [0, 1, 1]
+        assert [r.stats["prepared_cache_misses"] for r in reports] == [1, 0, 0]
+        assert len({r.side_size for r in reports}) == 1
+
     def test_per_request_budgets_are_enforced(self):
         requests = [
             SolveRequest(

@@ -102,6 +102,35 @@ class TestLaziness:
             assert sub.density == sub.graph.density
 
 
+class TestDensity:
+    def test_density_does_not_materialise_any_graph_form(self):
+        # Regression: density used to call to_bitgraph(), paying the full
+        # bitset indexing for subgraphs no search would ever touch.
+        graph = random_bipartite(9, 9, 0.4, seed=11)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        for sub in iter_vertex_centred_subgraphs(graph, order):
+            assert 0.0 <= sub.density <= 1.0
+            assert sub._graph is None
+            assert sub._bitgraph is None
+
+    def test_density_matches_both_materialised_forms(self):
+        graph = random_bipartite(9, 9, 0.5, seed=12)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        for sub in iter_vertex_centred_subgraphs(graph, order):
+            direct = sub.density
+            assert direct == pytest.approx(sub.graph.density)
+            assert direct == pytest.approx(sub.to_bitgraph().density)
+            # With the bitgraph cached, density reuses it.
+            assert sub.density == pytest.approx(direct)
+
+    def test_empty_other_side_has_zero_density(self):
+        graph = random_bipartite(5, 5, 0.3, seed=13)
+        order = search_order(graph, ORDER_BIDEGENERACY)
+        last = list(iter_vertex_centred_subgraphs(graph, order))[-1]
+        assert last.size == 1
+        assert last.density == 0.0
+
+
 class TestSizeBounds:
     def test_total_size_bound_for_bidegeneracy_order(self):
         """Lemma 8: total size is O((|L|+|R|) * bidegeneracy)."""
