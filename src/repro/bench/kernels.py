@@ -371,7 +371,7 @@ def run_subgraph_case(
         and a.position == b.position
         and a.left_members == b.left_members
         and a.right_members == b.right_members
-        for a, b in zip(label_subgraphs, csr_subgraphs)
+        for a, b in zip(label_subgraphs, csr_subgraphs, strict=True)
     )
     del label_subgraphs, csr_subgraphs
 

@@ -15,7 +15,11 @@ any Python:
   capabilities;
 * ``repro-mbb generate`` — write a synthetic bipartite graph to an edge list;
 * ``repro-mbb datasets`` — list the built-in KONECT stand-ins;
-* ``repro-mbb bench`` — regenerate one of the paper's tables or figures.
+* ``repro-mbb bench`` — regenerate one of the paper's tables or figures;
+* ``repro-mbb lint`` — run *reprolint*, the repository's AST-based
+  invariant analyzer (budget checkpoints, determinism, kernel parity,
+  pool safety), against the source tree — what the CI ``invariants``
+  job executes.
 
 Solver choices are derived from the :mod:`repro.api` backend registry, so
 a backend registered at runtime (or added in a later version) shows up in
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -162,6 +167,56 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0, help="random seed")
 
     subparsers.add_parser("datasets", help="list the built-in KONECT stand-ins")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the reprolint invariant analyzer over the source tree",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to analyze (default: src tests benchmarks "
+        "examples, resolved under --root)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        help="project root used to resolve paths and scope rules (default: .)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="comma-separated subset of rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of accepted findings (default: "
+        "reprolint-baseline.json under --root when present)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file and report every finding as new",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: (re)write the baseline file and "
+        "exit 0",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of human-readable text",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
 
     bench = subparsers.add_parser("bench", help="regenerate a paper table or figure")
     bench.add_argument(
@@ -339,6 +394,63 @@ def _command_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
+#: Default scan roots of ``repro-mbb lint`` (the CI ``invariants`` job's
+#: surface); entries missing under ``--root`` are skipped quietly so the
+#: command works from a source checkout and an installed tree alike.
+_LINT_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analyzer is devtooling and the solve/batch
+    # paths should not pay for it.
+    from repro.devtools.lint import (
+        DEFAULT_BASELINE_NAME,
+        Baseline,
+        BaselineError,
+        render_json,
+        render_text,
+        rule_table,
+        run_lint,
+    )
+
+    if args.list_rules:
+        for code, name, description in rule_table():
+            print(f"{code}  {name:<20}{description}")
+        return 0
+    root = os.path.abspath(args.root)
+    paths = list(args.paths)
+    if not paths:
+        paths = [
+            path
+            for path in _LINT_DEFAULT_PATHS
+            if os.path.exists(os.path.join(root, path))
+        ]
+        if not paths:
+            print(
+                f"error: none of {_LINT_DEFAULT_PATHS} exist under {root}; "
+                "pass explicit paths",
+                file=sys.stderr,
+            )
+            return 2
+    rules = [] if args.rules is None else args.rules.split(",")
+    baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE_NAME)
+    try:
+        baseline = None if args.no_baseline else Baseline.load(baseline_path)
+        result = run_lint(paths, root=root, rules=rules, baseline=baseline)
+    except (BaselineError, FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        Baseline.from_findings(result.all_findings).save(baseline_path)
+        print(
+            f"wrote baseline with {len(result.all_findings)} findings to "
+            f"{baseline_path}"
+        )
+        return 0
+    print(render_json(result) if args.json else render_text(result))
+    return result.exit_code
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     from repro.bench import figure4, figure5, figure6, kernels, table4, table5, table6
 
@@ -417,6 +529,7 @@ _COMMANDS = {
     "generate": _command_generate,
     "datasets": _command_datasets,
     "bench": _command_bench,
+    "lint": _command_lint,
 }
 
 

@@ -1,0 +1,8 @@
+"""Developer tooling shipped with the library.
+
+Nothing in this package is imported by the solver runtime; it holds the
+tools that keep the repository honest:
+
+* :mod:`repro.devtools.lint` — *reprolint*, the AST-based invariant
+  analyzer behind ``repro-mbb lint`` and the CI ``invariants`` job.
+"""

@@ -1,0 +1,75 @@
+"""*reprolint* — the repository's AST-based invariant analyzer.
+
+Generic linters enforce style; this package enforces the invariants the
+repository has already paid for in fixed bugs: budget checkpoints in the
+search stages (RPL001), determinism discipline (RPL002), bits/sets
+kernel parity (RPL003) and process-pool picklability (RPL004).  See
+:mod:`repro.devtools.lint.rules` for the rule table and each rule module
+for the bug history it encodes.
+
+Typical use::
+
+    from repro.devtools.lint import Baseline, run_lint
+
+    result = run_lint(["src", "tests"], root="/path/to/repo",
+                      baseline=Baseline.load("reprolint-baseline.json"))
+    assert result.exit_code == 0, result.new_findings
+
+The ``repro-mbb lint`` CLI command and the CI ``invariants`` job are
+thin wrappers over exactly this API.  Findings are suppressed per line
+with ``# reprolint: disable=RPL001`` (comma-separated codes, or
+``all``); pre-existing findings live in the checked-in baseline file
+(``reprolint-baseline.json``), regenerated with
+``repro-mbb lint --write-baseline``.
+"""
+
+from repro.devtools.lint.base import (
+    PARSE_ERROR_CODE,
+    FileContext,
+    Rule,
+    RULE_REGISTRY,
+    all_rules,
+    register_rule,
+    rule_table,
+)
+from repro.devtools.lint.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    BaselineError,
+    DEFAULT_BASELINE_NAME,
+)
+from repro.devtools.lint.findings import Finding, sort_findings
+from repro.devtools.lint.report import (
+    REPORT_SCHEMA_VERSION,
+    render_json,
+    render_text,
+)
+from repro.devtools.lint.runner import (
+    LintResult,
+    analyze_file,
+    iter_python_files,
+    run_lint,
+)
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "PARSE_ERROR_CODE",
+    "REPORT_SCHEMA_VERSION",
+    "RULE_REGISTRY",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "iter_python_files",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_table",
+    "run_lint",
+    "sort_findings",
+]

@@ -1,0 +1,144 @@
+"""Baseline I/O: the checked-in ledger of accepted findings.
+
+The baseline lets the analyzer be adopted on a codebase with existing
+findings without suppressing them inline: known findings are recorded in
+a JSON file and only *new* findings fail the run.  Entries are keyed by
+:attr:`~repro.devtools.lint.findings.Finding.fingerprint` (path + code +
+message, no line numbers) with a multiplicity count, so the ledger
+survives edits that move code around while still catching a second
+occurrence of an already-baselined pattern.
+
+The repository's goal state is an *empty* baseline — every invariant
+violation fixed at the source — but the mechanism stays so a future PR
+can land an intentionally-staged cleanup without turning CI red.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Tuple
+
+from repro.devtools.lint.findings import Finding, sort_findings
+
+#: Current schema version of the baseline file.
+BASELINE_VERSION = 1
+
+#: Conventional baseline filename at the project root.
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+class Baseline:
+    """Multiset of accepted finding fingerprints."""
+
+    def __init__(self, entries: Dict[str, int] | None = None) -> None:
+        self.entries: Dict[str, int] = dict(entries or {})
+
+    # ------------------------------------------------------------------
+    # construction / serialisation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline accepting exactly the given findings."""
+        entries: Dict[str, int] = {}
+        for finding in findings:
+            entries[finding.fingerprint] = entries.get(finding.fingerprint, 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def from_dict(cls, payload: object) -> "Baseline":
+        """Parse the JSON document form, validating the schema."""
+        if not isinstance(payload, dict):
+            raise BaselineError("baseline must be a JSON object")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        raw_entries = payload.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise BaselineError("baseline 'entries' must be a JSON array")
+        entries: Dict[str, int] = {}
+        for raw in raw_entries:
+            if not isinstance(raw, dict):
+                raise BaselineError("baseline entries must be JSON objects")
+            try:
+                path = str(raw["path"])
+                code = str(raw["code"])
+                message = str(raw["message"])
+                count = int(raw.get("count", 1))
+            except (KeyError, TypeError, ValueError) as error:
+                raise BaselineError(f"malformed baseline entry: {raw!r}") from error
+            if count < 1:
+                raise BaselineError(f"baseline count must be >= 1: {raw!r}")
+            fingerprint = f"{path}::{code}::{message}"
+            entries[fingerprint] = entries.get(fingerprint, 0) + count
+        return cls(entries)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON document form with deterministically sorted entries."""
+        rows: List[Dict[str, object]] = []
+        for fingerprint in sorted(self.entries):
+            path, code, message = fingerprint.split("::", 2)
+            rows.append(
+                {
+                    "path": path,
+                    "code": code,
+                    "message": message,
+                    "count": self.entries[fingerprint],
+                }
+            )
+        return {"version": BASELINE_VERSION, "tool": "reprolint", "entries": rows}
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return cls()
+        except json.JSONDecodeError as error:
+            raise BaselineError(f"baseline {path!r} is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
+
+    def save(self, path: str) -> None:
+        """Write the baseline file (stable ordering, trailing newline)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into ``(new, baselined)``.
+
+        Findings are consumed in canonical order and each fingerprint
+        absorbs at most its baselined count, so an *extra* occurrence of
+        an accepted pattern still surfaces as new.  Both partitions come
+        back sorted.
+        """
+        remaining = dict(self.entries)
+        new: List[Finding] = []
+        accepted: List[Finding] = []
+        for finding in sort_findings(findings):
+            credit = remaining.get(finding.fingerprint, 0)
+            if credit > 0:
+                remaining[finding.fingerprint] = credit - 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        return new, accepted
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Baseline) and self.entries == other.entries

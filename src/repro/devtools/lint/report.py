@@ -1,0 +1,55 @@
+"""Rendering of :class:`~repro.devtools.lint.runner.LintResult`.
+
+Two formats, both with deterministic ordering:
+
+* **text** — one ``path:line:col: CODE message`` line per new finding
+  (the clickable convention every editor understands) plus a summary
+  counting baselined/suppressed findings, so a green run still shows
+  what the baseline is absorbing;
+* **json** — a machine-readable document for CI and tooling, mirroring
+  the text content (``schema_version`` guards future evolution).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.devtools.lint.runner import LintResult
+
+#: Version of the ``--json`` document schema.
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report; one line per new finding plus a summary."""
+    lines: List[str] = []
+    for finding in result.new_findings:
+        lines.append(f"{finding.location}: {finding.code} {finding.message}")
+    noun = "finding" if len(result.new_findings) == 1 else "findings"
+    summary = (
+        f"reprolint: {len(result.new_findings)} new {noun} "
+        f"({len(result.baselined_findings)} baselined, "
+        f"{result.suppressed} suppressed) "
+        f"across {result.checked_files} files "
+        f"[rules: {', '.join(result.rules)}]"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """JSON report used by CI (``repro-mbb lint --json``)."""
+    document: Dict[str, object] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "rules": list(result.rules),
+        "checked_files": result.checked_files,
+        "suppressed": result.suppressed,
+        "new_findings": [finding.to_dict() for finding in result.new_findings],
+        "baselined_findings": [
+            finding.to_dict() for finding in result.baselined_findings
+        ],
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(document, indent=2)

@@ -1,0 +1,30 @@
+"""The shipped rule set.
+
+Importing this package registers every built-in rule with
+:data:`repro.devtools.lint.base.RULE_REGISTRY`:
+
+========  ====================  ==============================================
+code      name                  invariant
+========  ====================  ==============================================
+RPL001    budget-checkpoint     no hand-rolled budget/deadline math in the
+                                S1/S2/S3 search modules — poll
+                                ``SearchContext.checkpoint()``
+RPL002    determinism           no wall clocks or unseeded ``random`` in
+                                library code; no set-order-dependent
+                                accumulation in kernel modules
+RPL003    kernel-parity         every ``kernel="bits"`` dispatch keeps a
+                                reachable ``"sets"`` ablation counterpart
+RPL004    pool-safety           pool submissions and ``cancel_hook``
+                                assignments stay picklable
+========  ====================  ==============================================
+
+Each rule encodes an invariant this repository already paid for in a
+fixed bug (see the module docstrings for the history).
+"""
+
+from repro.devtools.lint.rules import (  # noqa: F401
+    budget_checkpoint,
+    determinism,
+    kernel_parity,
+    pool_safety,
+)

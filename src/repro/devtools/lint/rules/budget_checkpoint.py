@@ -1,0 +1,110 @@
+"""RPL001 — budget-checkpoint coverage in the search modules.
+
+History: PR 3 fixed budgets being silently ignored outside the dense
+kernel — stages that hand-rolled their own deadline/budget arithmetic
+drifted from the one enforcement point and either never aborted or
+claimed exhaustion after aborting.  The repaired contract is that search
+code polls :meth:`repro.mbb.context.SearchContext.checkpoint` (or
+:meth:`enter_node`, its per-search-node superset) and forwards remaining
+budgets through the ``remaining_node_budget()`` /
+``remaining_time_budget()`` helpers, so ``optimal=False`` abort
+semantics stay uniform across S1/S2/S3.
+
+The rule therefore flags, in the S1/S2/S3 search modules
+(``src/repro/mbb/`` and ``src/repro/cores/``, excluding ``context.py``
+which *implements* the mechanism):
+
+* ordering comparisons (``<``, ``<=``, ``>``, ``>=``) on a context's
+  ``deadline``, ``time_budget``, ``node_budget`` or ``elapsed``
+  attributes — e.g. ``time.perf_counter() > context.deadline``;
+* additive arithmetic (``+``/``-``) on those attributes — e.g.
+  ``context.time_budget - context.elapsed`` — the "remaining budget by
+  hand" pattern the context helpers replace.
+
+Reading the attributes (``elapsed_seconds=context.elapsed``), None
+guards (``context.deadline is not None``) and constructor keywords
+(``SearchContext(node_budget=...)``) are all untouched: only the
+comparison/arithmetic that re-implements enforcement is flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.devtools.lint.base import FileContext, Rule, register_rule
+from repro.devtools.lint.findings import Finding
+
+#: SearchContext attributes whose math belongs in ``context.py``.
+BUDGET_ATTRIBUTES = frozenset({"deadline", "time_budget", "node_budget", "elapsed"})
+
+#: Modules the rule covers: the three-stage search framework.
+SEARCH_MODULE_PREFIXES = ("src/repro/mbb", "src/repro/cores")
+
+#: The mechanism's own implementation is the one legitimate home for
+#: budget arithmetic.
+EXCLUDED_FILES = frozenset({"src/repro/mbb/context.py"})
+
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _budget_attributes_in(node: ast.AST) -> Set[str]:
+    """Budget attribute names read anywhere inside ``node``."""
+    found: Set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.ctx, ast.Load)
+            and sub.attr in BUDGET_ATTRIBUTES
+        ):
+            found.add(sub.attr)
+    return found
+
+
+@register_rule
+class BudgetCheckpointRule(Rule):
+    code = "RPL001"
+    name = "budget-checkpoint"
+    description = (
+        "search modules must poll SearchContext.checkpoint() instead of "
+        "hand-rolling deadline/budget math"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_under(*SEARCH_MODULE_PREFIXES):
+            return
+        if ctx.relpath in EXCLUDED_FILES:
+            return
+        flagged_subtrees: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare) and any(
+                isinstance(op, _ORDERING_OPS) for op in node.ops
+            ):
+                attrs = _budget_attributes_in(node)
+                if attrs:
+                    # Remember descendants so the BinOp inside an already
+                    # flagged comparison does not double-report.
+                    flagged_subtrees.update(id(sub) for sub in ast.walk(node))
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "hand-rolled budget comparison on "
+                        f"SearchContext.{'/'.join(sorted(attrs))}; poll "
+                        "SearchContext.checkpoint() instead",
+                    )
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.Add, ast.Sub))
+                and id(node) not in flagged_subtrees
+            ):
+                attrs = _budget_attributes_in(node)
+                if attrs:
+                    flagged_subtrees.update(id(sub) for sub in ast.walk(node))
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "hand-rolled budget arithmetic on "
+                        f"SearchContext.{'/'.join(sorted(attrs))}; use "
+                        "SearchContext.remaining_node_budget()/"
+                        "remaining_time_budget() instead",
+                    )

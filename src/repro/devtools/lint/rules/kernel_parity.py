@@ -1,0 +1,159 @@
+"""RPL003 — every ``kernel="bits"`` path keeps a ``"sets"`` counterpart.
+
+History: the bitset kernels (PRs 1-3) are validated by property tests
+that compare them against the original adjacency-set implementations; if
+a refactor silently drops a ``sets`` path, the ablation benchmarks and
+the cross-kernel oracle both lose their reference and the ``kernels``
+capability metadata in the registry starts lying to callers.
+
+Two sub-checks over library code (``src/repro/``):
+
+* **dispatch parity** — a module that *dispatches* on the bits kernel
+  (a comparison mentioning ``KERNEL_BITS`` or the literal ``"bits"``,
+  e.g. ``if kernel == KERNEL_BITS:`` or ``kernel not in (KERNEL_BITS,
+  KERNEL_SETS)``) must still reference the sets kernel somewhere —
+  a ``KERNEL_SETS`` read or a ``"sets"`` literal.  Modules that merely
+  take ``kernel=KERNEL_BITS`` as a default and forward it are not
+  dispatching and are not flagged.
+* **registry parity** — any call carrying a ``kernels=`` keyword (the
+  :class:`repro.api.registry.BackendInfo` capability field) must not
+  declare bits without sets.  Tuples are resolved through module-level
+  aliases (``_BOTH_KERNELS = (KERNEL_BITS, KERNEL_SETS)``), ``KERNEL_*``
+  names and string literals; unresolvable values are skipped rather
+  than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.lint.base import FileContext, Rule, register_rule
+from repro.devtools.lint.findings import Finding
+
+KERNEL_BITS_NAME = "KERNEL_BITS"
+KERNEL_SETS_NAME = "KERNEL_SETS"
+KERNEL_BITS_VALUE = "bits"
+KERNEL_SETS_VALUE = "sets"
+
+
+def _kernel_token(node: ast.AST) -> Optional[str]:
+    """Resolve a node to ``"bits"``/``"sets"`` when it names a kernel."""
+    if isinstance(node, ast.Name):
+        if node.id == KERNEL_BITS_NAME:
+            return KERNEL_BITS_VALUE
+        if node.id == KERNEL_SETS_NAME:
+            return KERNEL_SETS_VALUE
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        if node.value in (KERNEL_BITS_VALUE, KERNEL_SETS_VALUE):
+            return node.value
+    return None
+
+
+def _module_tuple_aliases(tree: ast.Module) -> Dict[str, Tuple[str, ...]]:
+    """Module-level ``NAME = (KERNEL_BITS, ...)`` tuple aliases."""
+    aliases: Dict[str, Tuple[str, ...]] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, (ast.Tuple, ast.List))
+        ):
+            tokens: List[str] = []
+            for element in node.value.elts:
+                token = _kernel_token(element)
+                if token is None:
+                    break
+                tokens.append(token)
+            else:
+                aliases[node.targets[0].id] = tuple(tokens)
+    return aliases
+
+
+@register_rule
+class KernelParityRule(Rule):
+    code = "RPL003"
+    name = "kernel-parity"
+    description = (
+        'every kernel="bits" dispatch keeps a reachable "sets" ablation '
+        "counterpart (code and registry metadata)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.is_library_code():
+            return
+        yield from self._check_dispatch_parity(ctx)
+        yield from self._check_registry_parity(ctx)
+
+    # ------------------------------------------------------------------
+    # dispatch parity
+    # ------------------------------------------------------------------
+    def _check_dispatch_parity(self, ctx: FileContext) -> Iterator[Finding]:
+        first_dispatch: Optional[ast.AST] = None
+        sets_referenced = False
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                tokens = {
+                    token
+                    for sub in ast.walk(node)
+                    for token in [_kernel_token(sub)]
+                    if token is not None
+                }
+                if KERNEL_BITS_VALUE in tokens and first_dispatch is None:
+                    first_dispatch = node
+                if KERNEL_SETS_VALUE in tokens:
+                    sets_referenced = True
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id == KERNEL_SETS_NAME:
+                    sets_referenced = True
+            elif isinstance(node, ast.Constant) and node.value == KERNEL_SETS_VALUE:
+                sets_referenced = True
+        if first_dispatch is not None and not sets_referenced:
+            yield self.finding(
+                ctx,
+                first_dispatch,
+                'module dispatches on kernel="bits" but never references the '
+                '"sets" ablation kernel; keep a reachable sets counterpart',
+            )
+
+    # ------------------------------------------------------------------
+    # registry parity
+    # ------------------------------------------------------------------
+    def _check_registry_parity(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = _module_tuple_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg != "kernels":
+                    continue
+                tokens = self._resolve_kernels(keyword.value, aliases)
+                if tokens is None:
+                    continue
+                if KERNEL_BITS_VALUE in tokens and KERNEL_SETS_VALUE not in tokens:
+                    yield self.finding(
+                        ctx,
+                        keyword.value,
+                        "backend capability metadata declares the bits kernel "
+                        "without the sets ablation kernel; register both in "
+                        "BackendInfo.kernels",
+                    )
+
+    @staticmethod
+    def _resolve_kernels(
+        node: ast.AST, aliases: Dict[str, Tuple[str, ...]]
+    ) -> Optional[Tuple[str, ...]]:
+        """Kernel names declared by a ``kernels=`` value, or None if opaque."""
+        if isinstance(node, ast.Name) and node.id in aliases:
+            return aliases[node.id]
+        if isinstance(node, (ast.Tuple, ast.List)):
+            tokens: List[str] = []
+            for element in node.elts:
+                token = _kernel_token(element)
+                if token is None:
+                    return None
+                tokens.append(token)
+            return tuple(tokens)
+        return None

@@ -1,0 +1,174 @@
+"""File discovery and analysis orchestration for reprolint.
+
+:func:`run_lint` is the one entry point the CLI, the CI job and the test
+suite share: discover Python files under the given paths, parse each one
+once, run every (selected) rule over the shared AST, drop line-suppressed
+findings, split the rest against the baseline, and return a
+:class:`LintResult` whose ordering is fully deterministic.
+
+The analyzer is dependency-free on purpose — :mod:`ast` plus the
+standard library — so the CI job can run it straight from a checkout
+with no installation step, and so it can never disagree with the
+interpreter about what the code parses to.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.devtools.lint.base import (
+    PARSE_ERROR_CODE,
+    FileContext,
+    Rule,
+    all_rules,
+)
+from repro.devtools.lint.baseline import Baseline
+from repro.devtools.lint.findings import Finding, sort_findings
+
+#: Directory names never descended into during discovery.
+_SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one analyzer run (all lists canonically sorted)."""
+
+    #: Findings not absorbed by the baseline — these fail the run.
+    new_findings: List[Finding] = field(default_factory=list)
+    #: Findings matched (and absorbed) by baseline entries.
+    baselined_findings: List[Finding] = field(default_factory=list)
+    #: Count of findings silenced by inline ``# reprolint: disable=...``.
+    suppressed: int = 0
+    #: Number of files parsed and analyzed.
+    checked_files: int = 0
+    #: Codes of the rules that ran, sorted.
+    rules: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """``0`` when no new findings survived, ``1`` otherwise."""
+        return 1 if self.new_findings else 0
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        """New and baselined findings together, canonically sorted."""
+        return sort_findings(self.new_findings + self.baselined_findings)
+
+
+def iter_python_files(paths: Sequence[str], root: str) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` in sorted, deterministic order.
+
+    ``paths`` entries are interpreted relative to ``root`` unless
+    absolute; files are yielded as absolute paths.  Missing paths raise
+    ``FileNotFoundError`` so a typo in CI fails loudly instead of
+    linting nothing.
+    """
+    collected: List[str] = []
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(root, path)
+        if os.path.isfile(absolute):
+            if absolute.endswith(".py"):
+                collected.append(os.path.abspath(absolute))
+            continue
+        if not os.path.isdir(absolute):
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if not name.startswith(".") and name not in _SKIPPED_DIRS
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    collected.append(os.path.abspath(os.path.join(dirpath, filename)))
+    # Deduplicate overlapping path arguments while keeping sorted order.
+    return iter(sorted(set(collected)))
+
+
+def _relpath(path: str, root: str) -> str:
+    relative = os.path.relpath(path, root)
+    return relative.replace(os.sep, "/")
+
+
+def analyze_file(
+    path: str, root: str, rules: Sequence[Rule]
+) -> tuple:
+    """Run every rule over one file; returns ``(findings, suppressed)``.
+
+    A file that fails to parse yields a single unsuppressable
+    ``RPL000`` finding carrying the syntax error message.
+    """
+    relpath = _relpath(path, root)
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as error:
+        return (
+            [
+                Finding(
+                    path=relpath,
+                    line=error.lineno or 1,
+                    column=(error.offset or 1),
+                    code=PARSE_ERROR_CODE,
+                    message=f"file does not parse: {error.msg}",
+                )
+            ],
+            0,
+        )
+    ctx = FileContext(relpath, source, tree)
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if ctx.is_suppressed(finding):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    root: Optional[str] = None,
+    rules: Iterable[str] = (),
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Analyze ``paths`` and return a deterministic :class:`LintResult`.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to scan (relative to ``root``).
+    root:
+        Project root used both to resolve relative ``paths`` and to
+        compute the root-relative paths the rules scope by (default:
+        the current working directory).
+    rules:
+        Optional subset of rule codes to run (default: all registered).
+    baseline:
+        Optional :class:`Baseline` absorbing known findings; with
+        ``None`` every finding is new.
+    """
+    resolved_root = os.path.abspath(root or os.getcwd())
+    selected = all_rules(rules)
+    findings: List[Finding] = []
+    suppressed = 0
+    checked = 0
+    for path in iter_python_files(paths, resolved_root):
+        checked += 1
+        file_findings, file_suppressed = analyze_file(path, resolved_root, selected)
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    new, accepted = (baseline or Baseline()).split(findings)
+    return LintResult(
+        new_findings=new,
+        baselined_findings=accepted,
+        suppressed=suppressed,
+        checked_files=checked,
+        rules=[rule.code for rule in selected],
+    )

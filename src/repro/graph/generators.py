@@ -157,7 +157,7 @@ def random_power_law_bipartite(
     target_edges = min(target_edges, n_left * n_right)
     left_choices = rng.choices(range(n_left), weights=left_weights, k=target_edges)
     right_choices = rng.choices(range(n_right), weights=right_weights, k=target_edges)
-    for u, v in zip(left_choices, right_choices):
+    for u, v in zip(left_choices, right_choices, strict=True):
         graph.add_edge(u, v)
     return graph
 

@@ -34,8 +34,9 @@ exhaustion.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.graph.bipartite import BipartiteGraph, Vertex
 from repro.mbb.result import Biclique, SearchStats
@@ -118,7 +119,7 @@ class SearchContext:
         """
         self.cancelled = True
 
-    def checkpoint(self) -> None:
+    def checkpoint(self, *, enforce_node_budget: bool = False) -> None:
         """Enforce cancellation and wall-clock budgets outside the kernel.
 
         The lightweight counterpart of :meth:`enter_node` for stages that
@@ -126,9 +127,16 @@ class SearchContext:
         subgraphs in S2): polls the cancellation hook, the relative time
         budget and the absolute deadline, raising :class:`SearchAborted`
         with ``aborted`` set when any fires.  Node statistics are *not*
-        recorded and the node budget is *not* tested — no search node is
-        being entered, and inflating the counters would distort the
-        breakdown experiments.
+        recorded and by default the node budget is *not* tested — no
+        search node is being entered, and inflating the counters would
+        distort the breakdown experiments.
+
+        ``enforce_node_budget=True`` additionally aborts once the node
+        budget has no headroom left (``stats.nodes >= node_budget``,
+        still without recording a node).  Drivers that fan out child
+        searches — the size-constrained ``(k, k)`` ladder today,
+        parallel S3 tomorrow — poll this form between children instead
+        of re-deriving the budget arithmetic themselves.
         """
         if self.cancelled or (self.cancel_hook is not None and self.cancel_hook()):
             self.cancelled = True
@@ -140,6 +148,54 @@ class SearchContext:
         if self.deadline is not None and time.perf_counter() > self.deadline:
             self.aborted = True
             raise SearchAborted("deadline exceeded")
+        if (
+            enforce_node_budget
+            and self.node_budget is not None
+            and self.stats.nodes >= self.node_budget
+        ):
+            self.aborted = True
+            raise SearchAborted(f"node budget {self.node_budget} exhausted")
+
+    def remaining_node_budget(self) -> Optional[int]:
+        """Search nodes left before the node budget trips (``None`` = unbounded).
+
+        The canonical way to forward a budget slice into a child search:
+        solvers must not re-derive ``node_budget - stats.nodes`` by hand
+        (reprolint RPL001 flags the pattern outside this module).
+        """
+        if self.node_budget is None:
+            return None
+        return max(0, self.node_budget - self.stats.nodes)
+
+    def remaining_time_budget(self) -> Optional[float]:
+        """Seconds left on the relative time budget (``None`` = unbounded).
+
+        Like :meth:`remaining_node_budget`, this is the sanctioned form
+        of ``time_budget - elapsed`` for handing a shrinking wall-clock
+        allowance to a child search.  The absolute :attr:`deadline` needs
+        no such slicing — it is simply copied to the child.
+        """
+        if self.time_budget is None:
+            return None
+        return max(0.0, self.time_budget - self.elapsed)
+
+    @contextmanager
+    def timed_stat(self, stat: str) -> Iterator[None]:
+        """Accumulate a block's wall time into ``stats.<stat>``.
+
+        Stage code must not read :func:`time.perf_counter` directly
+        (reprolint RPL002 confines wall clocks to this module, the
+        engine and the bench harness); wrapping the block keeps stage
+        timings flowing into :class:`~repro.mbb.result.SearchStats`
+        through one audited clock.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            setattr(
+                self.stats, stat, getattr(self.stats, stat) + time.perf_counter() - start
+            )
 
     def enter_node(self, depth: int) -> None:
         """Record entry into a branch-and-bound node and enforce budgets."""

@@ -38,8 +38,7 @@ dedicated adjacency-set search for ablations.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro._util import ensure_recursion_limit, recursion_headroom_for
 from repro.exceptions import InvalidParameterError
@@ -179,17 +178,56 @@ def _seed_bound(context: SearchContext, side: int) -> None:
         )
 
 
-def _parent_cancelled(parent: Optional[SearchContext]):
-    """Predicate polling a parent context's cooperative-cancellation state."""
-    if parent is None:
-        return None
+class _ParentCancelled:
+    """Hook polling a parent context's cooperative-cancellation state.
 
-    def cancelled() -> bool:
+    A module-level callable object (not a closure) so a child context
+    carrying it stays picklable — the property parallel S3 relies on to
+    hand contexts to pool workers (reprolint RPL004).
+    """
+
+    __slots__ = ("parent",)
+
+    def __init__(self, parent: SearchContext) -> None:
+        self.parent = parent
+
+    def __call__(self) -> bool:
+        parent = self.parent
         return parent.cancelled or (
             parent.cancel_hook is not None and parent.cancel_hook()
         )
 
-    return cancelled
+
+class _AnyHook:
+    """Hook firing when any of its member hooks fires (picklable compose)."""
+
+    __slots__ = ("hooks",)
+
+    def __init__(self, *hooks: Optional[Callable[[], bool]]) -> None:
+        self.hooks = tuple(hook for hook in hooks if hook is not None)
+
+    def __call__(self) -> bool:
+        return any(hook() for hook in self.hooks)
+
+
+class _TargetSideReached:
+    """Hook stopping a decision search at its first ``(a, b)`` witness."""
+
+    __slots__ = ("context", "target")
+
+    def __init__(self, context: SearchContext, target: int) -> None:
+        self.context = context
+        self.target = target
+
+    def __call__(self) -> bool:
+        return self.context.best_side >= self.target
+
+
+def _parent_cancelled(parent: Optional[SearchContext]):
+    """Predicate polling a parent context's cooperative-cancellation state."""
+    if parent is None:
+        return None
+    return _ParentCancelled(parent)
 
 
 def _inherit_cancellation(
@@ -204,7 +242,7 @@ def _inherit_cancellation(
     if own is None:
         child.cancel_hook = hook
     else:
-        child.cancel_hook = lambda: own() or hook()
+        child.cancel_hook = _AnyHook(own, hook)
 
 
 def _decide_sets(
@@ -253,7 +291,7 @@ def _decide_bits(
     context = SearchContext(node_budget=node_budget, time_budget=time_budget)
     _seed_bound(context, target - 1)
     # Stop at the first witness: the hook is polled at every node entry.
-    context.cancel_hook = lambda: context.best_side >= target
+    context.cancel_hook = _TargetSideReached(context, target)
     _inherit_cancellation(context, parent)
     dense_mbb_on_bitgraph(
         bitgraph,
@@ -365,38 +403,24 @@ def size_constrained_mbb(
     if context is None:
         context = SearchContext(node_budget=node_budget, time_budget=time_budget)
     max_side = min(graph.num_left, graph.num_right)
-    cancelled = _parent_cancelled(context)
     optimal = True
     k = context.best_side + 1
     while k <= max_side:
-        if cancelled():
-            context.cancelled = True
-            context.aborted = True
+        # One checkpoint covers cancellation, the deadline and both
+        # budgets between (k, k) decisions; an abort leaves the incumbent
+        # as a best-effort answer exactly like a budget blown mid-kernel.
+        try:
+            context.checkpoint(enforce_node_budget=True)
+        except SearchAborted:
             optimal = False
             break
-        if context.deadline is not None and time.perf_counter() > context.deadline:
-            context.aborted = True
-            optimal = False
-            break
-        remaining_nodes = None
-        if context.node_budget is not None:
-            remaining_nodes = context.node_budget - context.stats.nodes
-            if remaining_nodes <= 0:
-                optimal = False
-                break
-        remaining_time = None
-        if context.time_budget is not None:
-            remaining_time = context.time_budget - context.elapsed
-            if remaining_time <= 0:
-                optimal = False
-                break
         witness, aborted, stats = _decide(
             graph,
             k,
             k,
             kernel=kernel,
-            node_budget=remaining_nodes,
-            time_budget=remaining_time,
+            node_budget=context.remaining_node_budget(),
+            time_budget=context.remaining_time_budget(),
             parent=context,
         )
         context.stats.merge(stats)

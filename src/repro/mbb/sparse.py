@@ -18,7 +18,6 @@ choice of search order (``bd4``/``bd5``).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -192,25 +191,23 @@ def hbv_mbb(
     # stage stat.
     total_order = None
     if residual.num_vertices:
-        prepare_start = time.perf_counter()
-        if prepared is None:
-            prepared = PreparedGraph.prepare(residual)
-        else:
-            prepared = prepared.for_subgraph(residual)
-        # Generate from the snapshot's own graph: content-equal to the
-        # residual, and it keeps every stage downstream of S2 (member
-        # sets, bitgraphs, verification) on one consistent parent object.
-        residual = prepared.graph
-        context.stats.prepare_seconds += time.perf_counter() - prepare_start
+        with context.timed_stat("prepare_seconds"):
+            if prepared is None:
+                prepared = PreparedGraph.prepare(residual)
+            else:
+                prepared = prepared.for_subgraph(residual)
+            # Generate from the snapshot's own graph: content-equal to the
+            # residual, and it keeps every stage downstream of S2 (member
+            # sets, bitgraphs, verification) on one consistent parent object.
+            residual = prepared.graph
         # The total search order is the stage's kernel-independent fixed
         # cost; compute it once here (memoised on the snapshot — the raw
         # memoised list is used on purpose, so the bridging stage's order
         # view is memoised by identity too) and record its wall time so
         # reports break the ordering overhead out of the per-subgraph
         # work (the ``bdegOrder`` column of Table 6).
-        order_start = time.perf_counter()
-        total_order = prepared.search_order(config.effective_order)
-        context.stats.order_seconds += time.perf_counter() - order_start
+        with context.timed_stat("order_seconds"):
+            total_order = prepared.search_order(config.effective_order)
     bridge = bridge_mbb(
         residual,
         context,

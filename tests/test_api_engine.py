@@ -184,7 +184,7 @@ class TestSolveMany:
         parallel = engine.solve_many(requests)
         serial = engine.solve_many(requests, parallel=False)
         assert len(parallel) == len(serial) == 8
-        for left, right in zip(parallel, serial):
+        for left, right in zip(parallel, serial, strict=True):
             assert left.request == right.request
             assert left.side_size == right.side_size
             assert left.left == right.left

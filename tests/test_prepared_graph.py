@@ -200,7 +200,7 @@ class TestCrossGeneratorProperty:
         label_family = list(iter_vertex_centred_subgraphs(graph, order))
         csr_family = list(iter_vertex_centred_subgraphs_csr(prepared, order))
         assert len(label_family) == len(csr_family) == graph.num_vertices
-        for expected, actual in zip(label_family, csr_family):
+        for expected, actual in zip(label_family, csr_family, strict=True):
             assert actual.center == expected.center
             assert actual.position == expected.position
             assert actual.left_members == expected.left_members
