@@ -44,6 +44,7 @@ from repro.api.request import SolveReport, SolveRequest
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.prepared import PreparedGraph, graph_fingerprint
+from repro.mbb import solver as _solver
 from repro.mbb.context import SearchContext
 from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
 from repro.mbb.result import MBBResult
@@ -328,3 +329,22 @@ class MBBEngine:
             raise InvalidParameterError(
                 f"time_budget must be non-negative, got {time_budget}"
             )
+
+
+def _solve_graph_with_default_engine(
+    graph: BipartiteGraph, **options: object
+) -> MBBResult:
+    """Module-level engine entry point for :func:`repro.mbb.solver.solve_mbb`.
+
+    A fresh :class:`MBBEngine` per call is cheap — the expensive state
+    (the prepared-graph cache) is process-wide and shared by default.
+    Module-level (not a lambda/closure) so the reference stays picklable
+    if it ever crosses a pool boundary (RPL004 discipline).
+    """
+    return MBBEngine().solve_graph(graph, **options)
+
+
+# Dependency inversion for the layering contract (RPL007): the kernel
+# layer's solve_mbb must not import this service module, so the engine
+# installs itself into the solver's registration hook at import time.
+_solver.register_engine(_solve_graph_with_default_engine)

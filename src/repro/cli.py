@@ -34,6 +34,7 @@ import argparse
 import json
 import os
 import sys
+import textwrap
 from typing import Optional, Sequence
 
 from repro import __version__
@@ -217,6 +218,20 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered rules and exit",
     )
+    lint.add_argument(
+        "--explain",
+        default=None,
+        metavar="CODES",
+        help="print rationale, example and suppression guidance for the "
+        "given comma-separated rule codes (or 'all') and exit",
+    )
+    lint.add_argument(
+        "--graph-dot",
+        default=None,
+        metavar="PATH",
+        help="emit the project-internal import graph in Graphviz DOT form "
+        "to PATH ('-' for stdout) and exit",
+    )
 
     bench = subparsers.add_parser("bench", help="regenerate a paper table or figure")
     bench.add_argument(
@@ -394,10 +409,54 @@ def _command_datasets(_: argparse.Namespace) -> int:
     return 0
 
 
-#: Default scan roots of ``repro-mbb lint`` (the CI ``invariants`` job's
-#: surface); entries missing under ``--root`` are skipped quietly so the
-#: command works from a source checkout and an installed tree alike.
-_LINT_DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+def _explain_rules(codes_argument: str) -> int:
+    """Print rationale/example/suppression guidance for rule codes."""
+    from repro.devtools.lint import RULE_REGISTRY, all_rules
+
+    rules = all_rules()  # populates the registry, deterministic order
+    if codes_argument.strip().lower() != "all":
+        wanted = {
+            token.strip().upper()
+            for token in codes_argument.split(",")
+            if token.strip()
+        }
+        unknown = wanted - set(RULE_REGISTRY)
+        if unknown:
+            print(
+                f"error: unknown rule codes {sorted(unknown)}; "
+                f"registered: {sorted(RULE_REGISTRY)}",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.code in wanted]
+    blocks = []
+    for rule in rules:
+        lines = [
+            f"{rule.code} — {rule.name}",
+            f"  {rule.description}",
+            "",
+            "  Why:",
+        ]
+        lines.extend(f"    {line}" for line in textwrap.wrap(rule.rationale, 72))
+        lines.append("")
+        lines.append("  Example:")
+        lines.extend(f"    {line}" for line in rule.example.splitlines())
+        lines.append("")
+        lines.append("  Suppressing:")
+        lines.extend(
+            f"    {line}"
+            for line in textwrap.wrap(
+                f"Prefer fixing the violation. A deliberate exception is "
+                f"silenced per line with '# reprolint: disable={rule.code}'; "
+                f"a pre-existing finding can be accepted in "
+                f"reprolint-baseline.json (add a 'justification' string to "
+                f"the entry explaining why it is not fixed).",
+                72,
+            )
+        )
+        blocks.append("\n".join(lines))
+    print("\n\n".join(blocks))
+    return 0
 
 
 def _command_lint(args: argparse.Namespace) -> int:
@@ -405,8 +464,10 @@ def _command_lint(args: argparse.Namespace) -> int:
     # paths should not pay for it.
     from repro.devtools.lint import (
         DEFAULT_BASELINE_NAME,
+        DEFAULT_LINT_PATHS,
         Baseline,
         BaselineError,
+        build_project,
         render_json,
         render_text,
         rule_table,
@@ -417,21 +478,36 @@ def _command_lint(args: argparse.Namespace) -> int:
         for code, name, description in rule_table():
             print(f"{code}  {name:<20}{description}")
         return 0
+    if args.explain is not None:
+        return _explain_rules(args.explain)
     root = os.path.abspath(args.root)
     paths = list(args.paths)
     if not paths:
         paths = [
             path
-            for path in _LINT_DEFAULT_PATHS
+            for path in DEFAULT_LINT_PATHS
             if os.path.exists(os.path.join(root, path))
         ]
         if not paths:
             print(
-                f"error: none of {_LINT_DEFAULT_PATHS} exist under {root}; "
+                f"error: none of {DEFAULT_LINT_PATHS} exist under {root}; "
                 "pass explicit paths",
                 file=sys.stderr,
             )
             return 2
+    if args.graph_dot is not None:
+        try:
+            dot = build_project(paths, root=root).to_dot()
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        if args.graph_dot == "-":
+            print(dot, end="")
+        else:
+            with open(args.graph_dot, "w", encoding="utf-8") as handle:
+                handle.write(dot)
+            print(f"wrote import graph to {args.graph_dot}")
+        return 0
     rules = [] if args.rules is None else args.rules.split(",")
     baseline_path = args.baseline or os.path.join(root, DEFAULT_BASELINE_NAME)
     try:
@@ -441,7 +517,10 @@ def _command_lint(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     if args.write_baseline:
-        Baseline.from_findings(result.all_findings).save(baseline_path)
+        previous = baseline if baseline is not None else Baseline.load(baseline_path)
+        Baseline.from_findings(result.all_findings, previous=previous).save(
+            baseline_path
+        )
         print(
             f"wrote baseline with {len(result.all_findings)} findings to "
             f"{baseline_path}"

@@ -3,9 +3,13 @@
 Generic linters enforce style; this package enforces the invariants the
 repository has already paid for in fixed bugs: budget checkpoints in the
 search stages (RPL001), determinism discipline (RPL002), bits/sets
-kernel parity (RPL003) and process-pool picklability (RPL004).  See
-:mod:`repro.devtools.lint.rules` for the rule table and each rule module
-for the bug history it encodes.
+kernel parity (RPL003), process-pool picklability (RPL004), and — via
+the whole-project model in :mod:`repro.devtools.lint.project` (import
+graph, symbol tables, conservative call graph) — shared prepared/CSR
+state immutability (RPL005), interprocedural checkpoint reachability
+(RPL006), layering/import-cycle discipline (RPL007) and wire-format
+round-trip coverage (RPL008).  See :mod:`repro.devtools.lint.rules` for
+the rule table and each rule module for the bug history it encodes.
 
 Typical use::
 
@@ -26,6 +30,7 @@ with ``# reprolint: disable=RPL001`` (comma-separated codes, or
 from repro.devtools.lint.base import (
     PARSE_ERROR_CODE,
     FileContext,
+    ProjectRule,
     Rule,
     RULE_REGISTRY,
     all_rules,
@@ -44,9 +49,17 @@ from repro.devtools.lint.report import (
     render_json,
     render_text,
 )
+from repro.devtools.lint.project import (
+    ImportRecord,
+    ModuleInfo,
+    ProjectContext,
+    module_name_for,
+)
 from repro.devtools.lint.runner import (
+    DEFAULT_LINT_PATHS,
     LintResult,
     analyze_file,
+    build_project,
     iter_python_files,
     run_lint,
 )
@@ -56,16 +69,23 @@ __all__ = [
     "Baseline",
     "BaselineError",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_LINT_PATHS",
     "FileContext",
     "Finding",
+    "ImportRecord",
     "LintResult",
+    "ModuleInfo",
     "PARSE_ERROR_CODE",
+    "ProjectContext",
+    "ProjectRule",
     "REPORT_SCHEMA_VERSION",
     "RULE_REGISTRY",
     "Rule",
     "all_rules",
     "analyze_file",
+    "build_project",
     "iter_python_files",
+    "module_name_for",
     "register_rule",
     "render_json",
     "render_text",

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, Iterable, Iterator, List, Set, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Set, Tuple, Type
 
 from repro.devtools.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.devtools.lint.project import ProjectContext
 
 #: ``# reprolint: disable=RPL001,RPL004`` (or ``disable=all``).
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
@@ -109,6 +112,12 @@ class Rule:
     name: str = ""
     #: One-line description of the enforced invariant.
     description: str = ""
+    #: Multi-line rationale shown by ``repro-mbb lint --explain`` — why
+    #: the invariant exists (usually the bug history it encodes).
+    rationale: str = ""
+    #: Short illustrative snippet of a violation (and its fix) for
+    #: ``--explain`` output.
+    example: str = ""
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         """Yield findings for one file (empty for out-of-scope files)."""
@@ -122,6 +131,47 @@ class Rule:
             column=getattr(node, "col_offset", 0) + 1,
             code=self.code,
             message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for cross-file rules driven by the project model.
+
+    Unlike per-file :class:`Rule` subclasses, a project rule runs
+    exactly once per analysis over the
+    :class:`~repro.devtools.lint.project.ProjectContext` the runner
+    builds from every parsed file, so it can reason about import edges,
+    call-graph reachability and contracts spanning modules.  Per-line
+    suppression comments still apply: the runner maps each finding back
+    to its file's :class:`FileContext` before reporting.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules contribute nothing during the per-file pass."""
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield findings for the whole project (run once per analysis)."""
+        raise NotImplementedError
+
+    def project_finding(
+        self, relpath: str, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored to ``node`` inside ``relpath``."""
+        return Finding(
+            path=relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+    def line_finding(
+        self, relpath: str, line: int, column: int, message: str
+    ) -> Finding:
+        """Build a finding at an explicit (1-based) line/column."""
+        return Finding(
+            path=relpath, line=line, column=column, code=self.code, message=message
         )
 
 

@@ -10,7 +10,11 @@ occurrence of an already-baselined pattern.
 
 The repository's goal state is an *empty* baseline — every invariant
 violation fixed at the source — but the mechanism stays so a future PR
-can land an intentionally-staged cleanup without turning CI red.
+can land an intentionally-staged cleanup without turning CI red.  Any
+entry that does land must carry a written ``justification`` explaining
+why the finding is accepted rather than fixed; the field is preserved
+verbatim through load/save round-trips so the reasoning lives next to
+the suppression it defends.
 """
 
 from __future__ import annotations
@@ -34,19 +38,43 @@ class BaselineError(ValueError):
 class Baseline:
     """Multiset of accepted finding fingerprints."""
 
-    def __init__(self, entries: Dict[str, int] | None = None) -> None:
+    def __init__(
+        self,
+        entries: Dict[str, int] | None = None,
+        justifications: Dict[str, str] | None = None,
+    ) -> None:
         self.entries: Dict[str, int] = dict(entries or {})
+        #: Fingerprint → written justification for accepting the finding
+        #: instead of fixing it (preserved through load/save).
+        self.justifications: Dict[str, str] = dict(justifications or {})
 
     # ------------------------------------------------------------------
     # construction / serialisation
     # ------------------------------------------------------------------
     @classmethod
-    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
-        """Baseline accepting exactly the given findings."""
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        previous: "Baseline | None" = None,
+    ) -> "Baseline":
+        """Baseline accepting exactly the given findings.
+
+        When ``previous`` is given, justifications for fingerprints that
+        are still present carry over, so regenerating with
+        ``--write-baseline`` never silently discards the written
+        reasoning behind an accepted finding.
+        """
         entries: Dict[str, int] = {}
         for finding in findings:
             entries[finding.fingerprint] = entries.get(finding.fingerprint, 0) + 1
-        return cls(entries)
+        justifications: Dict[str, str] = {}
+        if previous is not None:
+            justifications = {
+                fingerprint: text
+                for fingerprint, text in previous.justifications.items()
+                if fingerprint in entries
+            }
+        return cls(entries, justifications)
 
     @classmethod
     def from_dict(cls, payload: object) -> "Baseline":
@@ -63,6 +91,7 @@ class Baseline:
         if not isinstance(raw_entries, list):
             raise BaselineError("baseline 'entries' must be a JSON array")
         entries: Dict[str, int] = {}
+        justifications: Dict[str, str] = {}
         for raw in raw_entries:
             if not isinstance(raw, dict):
                 raise BaselineError("baseline entries must be JSON objects")
@@ -77,21 +106,29 @@ class Baseline:
                 raise BaselineError(f"baseline count must be >= 1: {raw!r}")
             fingerprint = f"{path}::{code}::{message}"
             entries[fingerprint] = entries.get(fingerprint, 0) + count
-        return cls(entries)
+            justification = raw.get("justification")
+            if justification is not None:
+                if not isinstance(justification, str) or not justification.strip():
+                    raise BaselineError(
+                        f"baseline justification must be a non-empty string: {raw!r}"
+                    )
+                justifications[fingerprint] = justification
+        return cls(entries, justifications)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON document form with deterministically sorted entries."""
         rows: List[Dict[str, object]] = []
         for fingerprint in sorted(self.entries):
             path, code, message = fingerprint.split("::", 2)
-            rows.append(
-                {
-                    "path": path,
-                    "code": code,
-                    "message": message,
-                    "count": self.entries[fingerprint],
-                }
-            )
+            row: Dict[str, object] = {
+                "path": path,
+                "code": code,
+                "message": message,
+                "count": self.entries[fingerprint],
+            }
+            if fingerprint in self.justifications:
+                row["justification"] = self.justifications[fingerprint]
+            rows.append(row)
         return {"version": BASELINE_VERSION, "tool": "reprolint", "entries": rows}
 
     @classmethod

@@ -32,6 +32,7 @@ def render_text(result: LintResult) -> str:
         f"({len(result.baselined_findings)} baselined, "
         f"{result.suppressed} suppressed) "
         f"across {result.checked_files} files "
+        f"({result.modules} modules indexed) "
         f"[rules: {', '.join(result.rules)}]"
     )
     lines.append(summary)
@@ -45,6 +46,7 @@ def render_json(result: LintResult) -> str:
         "tool": "reprolint",
         "rules": list(result.rules),
         "checked_files": result.checked_files,
+        "modules": result.modules,
         "suppressed": result.suppressed,
         "new_findings": [finding.to_dict() for finding in result.new_findings],
         "baselined_findings": [

@@ -69,6 +69,23 @@ class BudgetCheckpointRule(Rule):
         "search modules must poll SearchContext.checkpoint() instead of "
         "hand-rolling deadline/budget math"
     )
+    rationale = (
+        "Before PR 6, size_constrained.py re-implemented its node-budget "
+        "arithmetic inline and drifted from the engine's semantics (fixed at "
+        "size_constrained.py:377). SearchContext.checkpoint() and the "
+        "remaining_node_budget()/remaining_time_budget() helpers are the one "
+        "budget mechanism; any comparison or arithmetic on "
+        "deadline/time_budget/node_budget fields in a search module is a "
+        "second implementation waiting to disagree."
+    )
+    example = (
+        "# bad: hand-rolled deadline math in a search module\n"
+        "if time.monotonic() > context.deadline:  # RPL001\n"
+        "    raise SearchAborted()\n"
+        "\n"
+        "# good: one mechanism, polled\n"
+        "context.checkpoint(enforce_node_budget=True)"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.is_under(*SEARCH_MODULE_PREFIXES):

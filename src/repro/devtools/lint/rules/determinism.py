@@ -138,6 +138,23 @@ class DeterminismRule(Rule):
         "no wall clocks or unseeded random in library code; no set-order-"
         "dependent accumulation in kernel modules"
     )
+    rationale = (
+        "PR 4's bicore peel and its exact oracle diverged on tie-breaks "
+        "because an ordering was derived from hash-ordered set iteration; "
+        "solver results must be a pure function of the input graph plus an "
+        "explicit seed. Wall clocks are confined to the modules that own "
+        "timing (mbb/context.py, api/engine.py, bench/), the global random "
+        "module is banned in favour of seeded random.Random(seed) instances, "
+        "and kernel modules must not accumulate set iteration order into "
+        "lists, tuples or yields."
+    )
+    example = (
+        "# bad: hash-ordered iteration feeds an ordered accumulator\n"
+        "order = [v for v in candidate_set]        # RPL002\n"
+        "\n"
+        "# good: total order made explicit\n"
+        "order = sorted(candidate_set, key=vertex_key)"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.is_library_code():

@@ -80,6 +80,25 @@ class KernelParityRule(Rule):
         'every kernel="bits" dispatch keeps a reachable "sets" ablation '
         "counterpart (code and registry metadata)"
     )
+    rationale = (
+        "The bitset kernel is the fast path but the sets kernel is the "
+        "oracle: every ablation table and property test relies on the two "
+        "producing identical results, so a bits-only dispatch silently "
+        "removes the cross-check that caught the PR 3/PR 4 tie-break bugs. "
+        "Any kernel dispatch that accepts \"bits\" must keep a reachable "
+        "\"sets\" branch, and the backend registry metadata must agree."
+    )
+    example = (
+        "# bad: the ablation counterpart is gone\n"
+        "def solve(graph, kernel=KERNEL_BITS):\n"
+        "    return _solve_bits(graph)                 # RPL003\n"
+        "\n"
+        "# good: both kernels stay reachable\n"
+        "def solve(graph, kernel=KERNEL_BITS):\n"
+        "    if kernel == KERNEL_BITS:\n"
+        "        return _solve_bits(graph)\n"
+        "    return _solve_sets(graph)"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if not ctx.is_library_code():

@@ -64,6 +64,22 @@ class PoolSafetyRule(Rule):
         "pool submissions must be module-level callables with picklable "
         "payloads; library cancel hooks must not be lambdas/closures"
     )
+    rationale = (
+        "solve_many ships work to a ProcessPoolExecutor, and the parallel-S3 "
+        "plan ships cancel hooks with it: anything submitted must pickle. A "
+        "lambda or closure pickles on no platform, and the failure only "
+        "surfaces at runtime inside the pool, far from the offending line. "
+        "PR 6 replaced the engine's closure cancel hooks with the picklable "
+        "module-level callables (_ParentCancelled/_AnyHook/_TargetSideReached) "
+        "this rule now protects."
+    )
+    example = (
+        "# bad: closures cannot cross a process boundary\n"
+        "context.cancel_hook = lambda: parent.cancelled   # RPL004\n"
+        "\n"
+        "# good: a picklable module-level callable object\n"
+        "context.cancel_hook = _ParentCancelled(parent_id)"
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         yield from self._check_submissions(ctx)

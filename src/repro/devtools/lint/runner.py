@@ -1,10 +1,22 @@
 """File discovery and analysis orchestration for reprolint.
 
 :func:`run_lint` is the one entry point the CLI, the CI job and the test
-suite share: discover Python files under the given paths, parse each one
-once, run every (selected) rule over the shared AST, drop line-suppressed
-findings, split the rest against the baseline, and return a
-:class:`LintResult` whose ordering is fully deterministic.
+suite share.  Since the project model landed it is a two-pass analysis:
+
+1. **parse pass** — discover Python files under the given paths, parse
+   each one once into a :class:`FileContext` (an unparseable file yields
+   one unsuppressable ``RPL000`` finding and drops out of pass 2), and
+   run every selected per-file :class:`Rule` over the shared AST;
+2. **project pass** — build one
+   :class:`~repro.devtools.lint.project.ProjectContext` from every
+   parsed file and run each selected :class:`ProjectRule` exactly once
+   over it, mapping findings back through the owning file's per-line
+   suppressions.
+
+Line-suppressed findings are dropped, the rest are split against the
+baseline, and the returned :class:`LintResult` is fully deterministic —
+sorted discovery, sorted rules, sorted findings — so two consecutive
+runs render byte-identical reports (a property CI pins down).
 
 The analyzer is dependency-free on purpose — :mod:`ast` plus the
 standard library — so the CI job can run it straight from a checkout
@@ -17,19 +29,28 @@ from __future__ import annotations
 import ast
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.devtools.lint.base import (
     PARSE_ERROR_CODE,
     FileContext,
+    ProjectRule,
     Rule,
     all_rules,
 )
 from repro.devtools.lint.baseline import Baseline
 from repro.devtools.lint.findings import Finding, sort_findings
+from repro.devtools.lint.project import ProjectContext
 
 #: Directory names never descended into during discovery.
 _SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+#: The scan roots ``repro-mbb lint`` and CI default to.  Library code
+#: (``src/``) plus every root that executes it — rule *scoping* (not
+#: root selection) decides what is legal where, e.g. wall-clock reads
+#: stay legal under ``benchmarks/`` while the layering and shared-state
+#: contracts apply everywhere.
+DEFAULT_LINT_PATHS: Tuple[str, ...] = ("src", "tests", "benchmarks", "examples")
 
 
 @dataclass
@@ -44,6 +65,9 @@ class LintResult:
     suppressed: int = 0
     #: Number of files parsed and analyzed.
     checked_files: int = 0
+    #: Number of modules indexed into the project model (0 when no
+    #: project rule ran).
+    modules: int = 0
     #: Codes of the rules that ran, sorted.
     rules: List[str] = field(default_factory=list)
 
@@ -93,13 +117,12 @@ def _relpath(path: str, root: str) -> str:
     return relative.replace(os.sep, "/")
 
 
-def analyze_file(
-    path: str, root: str, rules: Sequence[Rule]
-) -> tuple:
-    """Run every rule over one file; returns ``(findings, suppressed)``.
+def parse_file(path: str, root: str) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    """Parse one file into a :class:`FileContext`.
 
-    A file that fails to parse yields a single unsuppressable
-    ``RPL000`` finding carrying the syntax error message.
+    Returns ``(context, None)`` on success and ``(None, rpl000)`` when
+    the file does not parse — an unsuppressable finding, since an
+    unparseable file cannot carry trustworthy suppression comments.
     """
     relpath = _relpath(path, root)
     with open(path, "r", encoding="utf-8") as handle:
@@ -107,19 +130,28 @@ def analyze_file(
     try:
         tree = ast.parse(source, filename=relpath)
     except SyntaxError as error:
-        return (
-            [
-                Finding(
-                    path=relpath,
-                    line=error.lineno or 1,
-                    column=(error.offset or 1),
-                    code=PARSE_ERROR_CODE,
-                    message=f"file does not parse: {error.msg}",
-                )
-            ],
-            0,
+        return None, Finding(
+            path=relpath,
+            line=error.lineno or 1,
+            column=(error.offset or 1),
+            code=PARSE_ERROR_CODE,
+            message=f"file does not parse: {error.msg}",
         )
-    ctx = FileContext(relpath, source, tree)
+    return FileContext(relpath, source, tree), None
+
+
+def analyze_file(path: str, root: str, rules: Sequence[Rule]) -> tuple:
+    """Run per-file rules over one file; returns ``(findings, suppressed)``.
+
+    Project rules in ``rules`` are skipped (their :meth:`Rule.check` is
+    an empty iterator) — they need the whole-project pass of
+    :func:`run_lint`.  A file that fails to parse yields a single
+    unsuppressable ``RPL000`` finding carrying the syntax error message.
+    """
+    ctx, parse_error = parse_file(path, root)
+    if parse_error is not None:
+        return [parse_error], 0
+    assert ctx is not None
     kept: List[Finding] = []
     suppressed = 0
     for rule in rules:
@@ -129,6 +161,23 @@ def analyze_file(
             else:
                 kept.append(finding)
     return kept, suppressed
+
+
+def build_project(
+    paths: Sequence[str], *, root: Optional[str] = None
+) -> ProjectContext:
+    """Parse ``paths`` and build the project model (for ``--graph-dot``).
+
+    Unparseable files are silently skipped here; :func:`run_lint` is
+    where parse failures are reported.
+    """
+    resolved_root = os.path.abspath(root or os.getcwd())
+    contexts: List[FileContext] = []
+    for path in iter_python_files(paths, resolved_root):
+        ctx, _error = parse_file(path, resolved_root)
+        if ctx is not None:
+            contexts.append(ctx)
+    return ProjectContext.build(contexts)
 
 
 def run_lint(
@@ -156,19 +205,48 @@ def run_lint(
     """
     resolved_root = os.path.abspath(root or os.getcwd())
     selected = all_rules(rules)
+    file_rules = [rule for rule in selected if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in selected if isinstance(rule, ProjectRule)]
+
     findings: List[Finding] = []
     suppressed = 0
     checked = 0
+    contexts: List[FileContext] = []
+    by_path: Dict[str, FileContext] = {}
     for path in iter_python_files(paths, resolved_root):
         checked += 1
-        file_findings, file_suppressed = analyze_file(path, resolved_root, selected)
-        findings.extend(file_findings)
-        suppressed += file_suppressed
+        ctx, parse_error = parse_file(path, resolved_root)
+        if parse_error is not None:
+            findings.append(parse_error)
+            continue
+        assert ctx is not None
+        contexts.append(ctx)
+        by_path[ctx.relpath] = ctx
+        for rule in file_rules:
+            for finding in rule.check(ctx):
+                if ctx.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+
+    modules = 0
+    if project_rules:
+        project = ProjectContext.build(contexts)
+        modules = len(project.modules)
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                owner = by_path.get(finding.path)
+                if owner is not None and owner.is_suppressed(finding):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+
     new, accepted = (baseline or Baseline()).split(findings)
     return LintResult(
         new_findings=new,
         baselined_findings=accepted,
         suppressed=suppressed,
         checked_files=checked,
+        modules=modules,
         rules=[rule.code for rule in selected],
     )

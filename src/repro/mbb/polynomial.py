@@ -440,5 +440,9 @@ def maximum_balanced_biclique_near_complete(
             "graph is not near-complete: some vertex misses more than two "
             "neighbours; use dense_mbb instead"
         )
+    # The polynomial case is a single bounded pass, so one budget poll at
+    # the boundary keeps deadlines and cancel hooks honoured even when
+    # this wrapper is driven with an externally-shared context.
+    context.checkpoint()
     result = solve_polynomial_case(graph, state, context)
     return result if result is not None else Biclique.empty()

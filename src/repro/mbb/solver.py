@@ -18,9 +18,10 @@ adjacency-set implementation for ablations and comparisons.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro._util import ensure_recursion_limit, recursion_headroom_for
+from repro.exceptions import SolverError
 from repro.graph.bipartite import BipartiteGraph
 from repro.mbb.dense import KERNEL_BITS
 from repro.mbb.result import Biclique, MBBResult
@@ -53,6 +54,27 @@ def choose_method(graph: BipartiteGraph) -> str:
     if graph.density >= DENSE_DENSITY_THRESHOLD:
         return METHOD_DENSE
     return METHOD_SPARSE
+
+
+#: Engine entry point installed by :mod:`repro.api.engine` at import time.
+#: The kernel layer must not import the service layer above it (RPL007),
+#: so the dependency is inverted: the engine registers its solve function
+#: here when it loads, and :func:`solve_mbb` dispatches through the hook.
+#: ``repro/__init__`` imports :mod:`repro.api`, so the hook is always
+#: installed before user code can reach :func:`solve_mbb`.
+_ENGINE_SOLVE_GRAPH: Optional[Callable[..., MBBResult]] = None
+
+
+def register_engine(solve_graph: Callable[..., MBBResult]) -> None:
+    """Install the engine-backed solve function :func:`solve_mbb` uses.
+
+    Called by :mod:`repro.api.engine` when it is imported.  The callable
+    receives ``(graph, **options)`` with the keyword options
+    :meth:`repro.api.engine.MBBEngine.solve_graph` accepts (``backend``,
+    ``kernel``, ``node_budget``, ``time_budget``, ``sparse_config`` …).
+    """
+    global _ENGINE_SOLVE_GRAPH
+    _ENGINE_SOLVE_GRAPH = solve_graph
 
 
 def solve_mbb(
@@ -96,13 +118,16 @@ def solve_mbb(
     MBBResult
         The balanced biclique together with statistics and optimality flag.
     """
-    from repro.api.engine import MBBEngine
-
+    if _ENGINE_SOLVE_GRAPH is None:
+        raise SolverError(
+            "no engine registered for solve_mbb; import repro (or "
+            "repro.api.engine) so the service layer can install its hook"
+        )
     ensure_recursion_limit(recursion_headroom_for(graph.num_vertices))
     options = {}
     if sparse_config is not None and method in (METHOD_AUTO, METHOD_SPARSE):
         options["sparse_config"] = sparse_config
-    return MBBEngine().solve_graph(
+    return _ENGINE_SOLVE_GRAPH(
         graph,
         backend=method,
         kernel=kernel,

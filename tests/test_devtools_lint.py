@@ -47,12 +47,16 @@ def codes(result):
 # framework: registry, ordering, parse failures
 # ----------------------------------------------------------------------
 class TestFramework:
-    def test_all_four_rules_registered(self):
+    def test_all_registered_rules(self):
         assert [rule.code for rule in all_rules()] == [
             "RPL001",
             "RPL002",
             "RPL003",
             "RPL004",
+            "RPL005",
+            "RPL006",
+            "RPL007",
+            "RPL008",
         ]
 
     def test_rule_subset_selection(self):
@@ -67,8 +71,22 @@ class TestFramework:
 
     def test_rule_table_lists_descriptions(self):
         table = rule_table()
-        assert [row[0] for row in table] == ["RPL001", "RPL002", "RPL003", "RPL004"]
+        assert [row[0] for row in table] == [
+            "RPL001",
+            "RPL002",
+            "RPL003",
+            "RPL004",
+            "RPL005",
+            "RPL006",
+            "RPL007",
+            "RPL008",
+        ]
         assert all(row[1] and row[2] for row in table)
+
+    def test_every_rule_carries_explain_metadata(self):
+        for rule in all_rules():
+            assert rule.rationale, f"{rule.code} has no rationale for --explain"
+            assert rule.example, f"{rule.code} has no example for --explain"
 
     def test_parse_failure_reports_rpl000(self, tmp_path):
         result = lint_fixture(tmp_path, "src/repro/broken.py", "def oops(:\n")
