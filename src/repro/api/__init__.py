@@ -27,7 +27,7 @@ True
 """
 
 from repro.api import backends as _backends  # noqa: F401  (registers built-ins)
-from repro.api.engine import MBBEngine, PreparedGraphCache
+from repro.api.engine import MBBEngine, PreparedGraphCache, SharedPreparedExports
 from repro.api.registry import (
     BackendInfo,
     FunctionBackend,
@@ -60,4 +60,5 @@ __all__ = [
     "sweep_requests",
     "MBBEngine",
     "PreparedGraphCache",
+    "SharedPreparedExports",
 ]

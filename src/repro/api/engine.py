@@ -29,21 +29,38 @@ one process-wide cache by default — which is exactly what makes the
 amortisation reach the process-pool workers, each of which constructs a
 fresh engine per request — and each solve reports its hit/miss and
 ``prepare_seconds`` through :class:`~repro.mbb.result.SearchStats`.
+
+``solve_many`` extends the amortisation *across* the pool boundary: for
+each pool-bound request whose backend consumes snapshots, the engine
+prepares the graph once, publishes the bundle into a shared-memory
+segment (:meth:`~repro.graph.prepared.PreparedGraph.to_shm`) and ships
+the **segment name** with the request instead of letting every worker
+re-pickle or re-prepare the graph.  Workers attach zero-copy, re-verify
+the content fingerprint, and seed their process-local cache, so each
+worker pays one attach per graph instead of one preparation per
+request.  The engine end owns segment lifecycle through the module-wide
+:class:`SharedPreparedExports` registry: segments are destroyed when
+their snapshot is evicted from the cache LRU, on
+:meth:`MBBEngine.shutdown`, and in an ``atexit`` hook — so a crashed
+worker (or a crashed batch) can never leak a named segment, and the
+registry is pid-guarded so forked workers can never tear down their
+parent's segments.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.api.registry import SolverBackend, get_backend
 from repro.api.request import SolveReport, SolveRequest
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph
-from repro.graph.prepared import PreparedGraph, graph_fingerprint
+from repro.graph.prepared import PreparedGraph, PreparedGraphShm, graph_fingerprint
 from repro.mbb import solver as _solver
 from repro.mbb.context import SearchContext
 from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
@@ -64,14 +81,26 @@ class PreparedGraphCache:
     overwrites the colliding entry — a collision can cost a
     re-preparation but never leaks one graph's arrays into another
     graph's solve.
+
+    ``on_evict`` (called with ``(fingerprint, prepared)`` whenever an
+    entry leaves the cache, including via :meth:`clear`) is the hook the
+    engine uses to tie shared-memory segment lifecycle to the LRU: when
+    a snapshot falls out of the cache, its published segment is
+    destroyed with it.
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(
+        self,
+        capacity: int = 8,
+        *,
+        on_evict: Optional[Callable[[str, PreparedGraph], None]] = None,
+    ) -> None:
         if capacity < 1:
             raise InvalidParameterError(
                 f"cache capacity must be positive, got {capacity}"
             )
         self.capacity = capacity
+        self.on_evict = on_evict
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[str, PreparedGraph]" = OrderedDict()
@@ -86,15 +115,30 @@ class PreparedGraphCache:
             return cached, True
         self.misses += 1
         prepared = PreparedGraph.prepare(graph)
+        self.seed(fingerprint, prepared)
+        return prepared, False
+
+    def seed(self, fingerprint: str, prepared: PreparedGraph) -> None:
+        """Insert a snapshot under a known fingerprint, no accounting.
+
+        The pool-worker attach path uses this: the fingerprint was
+        verified by ``from_shm`` against the attached content, so
+        re-deriving it here would just repeat that work.  Normal lookups
+        must go through :meth:`get`.
+        """
         self._entries[fingerprint] = prepared
         self._entries.move_to_end(fingerprint)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-        return prepared, False
+            evicted_fingerprint, evicted = self._entries.popitem(last=False)
+            if self.on_evict is not None:
+                self.on_evict(evicted_fingerprint, evicted)
 
     def clear(self) -> None:
         """Drop every cached snapshot (counters are kept)."""
-        self._entries.clear()
+        while self._entries:
+            fingerprint, prepared = self._entries.popitem(last=False)
+            if self.on_evict is not None:
+                self.on_evict(fingerprint, prepared)
 
     def stats(self) -> Dict[str, int]:
         """Cumulative counters plus the current size, for observability."""
@@ -109,11 +153,86 @@ class PreparedGraphCache:
         return len(self._entries)
 
 
+class SharedPreparedExports:
+    """Owner-side registry of published :class:`PreparedGraph` segments.
+
+    One process-wide instance tracks every segment this process created
+    (keyed by content fingerprint, so one graph is published exactly
+    once no matter how many batches reference it).  Every removal path —
+    LRU eviction from the shared cache, :meth:`release`,
+    :meth:`release_all` from :meth:`MBBEngine.shutdown` or the
+    ``atexit`` hook — destroys the segment, so named segments cannot
+    outlive the process even when a worker or a batch crashes.
+
+    The registry is pid-guarded: a forked pool worker inherits the
+    parent's handle table, and acting on it would unlink segments the
+    *parent* still serves.  Any operation from a different pid first
+    resets the table (dropping the inherited handles without touching
+    the segments), making every mutation a no-op on borrowed state.
+    The table is also self-bounding: publishing beyond ``capacity``
+    destroys the oldest segment (workers already attached keep their
+    mappings — POSIX keeps attached memory alive past the unlink — and
+    later attach failures fall back to local preparation).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        self.capacity = capacity
+        self._owner_pid = os.getpid()
+        self._handles: "OrderedDict[str, PreparedGraphShm]" = OrderedDict()
+
+    def _guard_pid(self) -> None:
+        if os.getpid() != self._owner_pid:
+            self._owner_pid = os.getpid()
+            self._handles = OrderedDict()
+
+    def export(self, prepared: PreparedGraph) -> PreparedGraphShm:
+        """Publish ``prepared`` (once per fingerprint) and return its handle."""
+        self._guard_pid()
+        handle = self._handles.get(prepared.fingerprint)
+        if handle is None:
+            handle = prepared.to_shm()
+            self._handles[handle.fingerprint] = handle
+            while len(self._handles) > self.capacity:
+                _, oldest = self._handles.popitem(last=False)
+                oldest.destroy()
+        else:
+            self._handles.move_to_end(prepared.fingerprint)
+        return handle
+
+    def release(self, fingerprint: str) -> None:
+        """Destroy the segment published for ``fingerprint`` (idempotent)."""
+        self._guard_pid()
+        handle = self._handles.pop(fingerprint, None)
+        if handle is not None:
+            handle.destroy()
+
+    def release_all(self) -> None:
+        """Destroy every segment this process still owns."""
+        self._guard_pid()
+        while self._handles:
+            _, handle = self._handles.popitem(last=False)
+            handle.destroy()
+
+    def __len__(self) -> int:
+        self._guard_pid()
+        return len(self._handles)
+
+
+#: Process-wide segment registry; see :class:`SharedPreparedExports`.
+_PREPARED_EXPORTS = SharedPreparedExports()
+atexit.register(_PREPARED_EXPORTS.release_all)
+
+
+def _release_prepared_export(fingerprint: str, prepared: PreparedGraph) -> None:
+    """Cache-eviction hook: a snapshot leaving the LRU takes its segment."""
+    _PREPARED_EXPORTS.release(fingerprint)
+
+
 #: Process-wide default cache shared by every engine that is not given a
 #: private one.  Sharing at module level is what lets process-pool
 #: workers — which build a fresh ``MBBEngine`` per request — amortise
 #: preparation across the requests they each execute.
-_SHARED_PREPARED_CACHE = PreparedGraphCache()
+_SHARED_PREPARED_CACHE = PreparedGraphCache(on_evict=_release_prepared_export)
 
 
 def _solve_request_json(payload: str) -> str:
@@ -124,6 +243,59 @@ def _solve_request_json(payload: str) -> str:
     exact same format a network server would receive.
     """
     report = MBBEngine().solve(SolveRequest.from_json(payload))
+    return report.to_json()
+
+
+#: Per-process memo of attached segments, keyed by segment name.  Lives
+#: at module level (not on an engine) because pool workers construct a
+#: fresh engine per request; bounded like the caches it feeds.
+_WORKER_ATTACHMENTS: "OrderedDict[str, PreparedGraph]" = OrderedDict()
+_MAX_WORKER_ATTACHMENTS = 8
+
+
+def _attach_prepared_shm(name: str, fingerprint: str) -> Optional[PreparedGraph]:
+    """Attach to a published snapshot segment, memoised per process.
+
+    Module-level by design (and by RPL004 machine check): attach
+    callables must pickle by reference into pool workers.  The attach
+    re-verifies the stored fingerprint against both the engine's
+    expectation and the actual graph content, then seeds the process's
+    shared :class:`PreparedGraphCache` so the ensuing solve scores a
+    cache hit with ``prepare_seconds`` ≈ one fingerprint computation.
+    Returns ``None`` when the segment is gone or fails verification —
+    callers fall back to preparing locally.
+    """
+    prepared = _WORKER_ATTACHMENTS.get(name)
+    if prepared is not None and prepared.fingerprint == fingerprint:
+        _WORKER_ATTACHMENTS.move_to_end(name)
+        return prepared
+    try:
+        prepared = PreparedGraph.from_shm(name, fingerprint)
+    except Exception:
+        return None
+    _WORKER_ATTACHMENTS[name] = prepared
+    _WORKER_ATTACHMENTS.move_to_end(name)
+    while len(_WORKER_ATTACHMENTS) > _MAX_WORKER_ATTACHMENTS:
+        _WORKER_ATTACHMENTS.popitem(last=False)
+    _SHARED_PREPARED_CACHE.seed(prepared.fingerprint, prepared)
+    return prepared
+
+
+def _solve_request_shm_json(payload: str, shm_name: str, fingerprint: str) -> str:
+    """Worker-process entry point for shared-memory handed-off requests.
+
+    Same wire contract as :func:`_solve_request_json`, plus the attach
+    token: the worker attaches the published snapshot instead of
+    materialising and re-preparing the request's graph.  If the attach
+    fails for any reason (segment evicted between submit and execution,
+    backend drift), the request falls back to the plain JSON path — the
+    handoff is an optimisation, never a correctness dependency.
+    """
+    prepared = _attach_prepared_shm(shm_name, fingerprint)
+    if prepared is None:
+        return _solve_request_json(payload)
+    request = SolveRequest.from_json(payload)
+    report = MBBEngine().solve(request, graph=prepared.graph)
     return report.to_json()
 
 
@@ -220,6 +392,7 @@ class MBBEngine:
         *,
         max_workers: Optional[int] = None,
         parallel: bool = True,
+        share_prepared: bool = True,
     ) -> List[SolveReport]:
         """Execute a batch of requests, in a process pool when possible.
 
@@ -230,6 +403,18 @@ class MBBEngine:
         platform where process pools are unavailable) the batch runs
         serially in-process and produces the same reports apart from
         timings.
+
+        With ``share_prepared`` (the default), each pool-bound request
+        whose backend consumes prepared snapshots is prepared **once**
+        in this process and published to shared memory; its workers
+        receive the segment name and attach zero-copy instead of
+        re-pickling or re-preparing the graph per request (visible in
+        the reports as ``prepared_cache_hits == 1`` with near-zero
+        ``prepare_seconds``).  Published segments stay registered with
+        the process-wide :class:`SharedPreparedExports` — bounded by the
+        cache LRU and destroyed on eviction, :meth:`shutdown` or process
+        exit — so repeated batches over the same graphs keep amortising
+        and nothing leaks if a worker dies mid-batch.
         """
         batch: Sequence[SolveRequest] = list(requests)
         if not batch:
@@ -247,11 +432,67 @@ class MBBEngine:
             # worker propagates instead of silently re-running the batch.
             return [self.solve(request) for request in batch]
         with pool:
-            futures = [
-                pool.submit(_solve_request_json, request.to_json())
-                for request in batch
-            ]
+            futures = []
+            for request in batch:
+                handle = self._shm_handle_for(request) if share_prepared else None
+                if handle is None:
+                    futures.append(
+                        pool.submit(_solve_request_json, request.to_json())
+                    )
+                else:
+                    futures.append(
+                        pool.submit(
+                            _solve_request_shm_json,
+                            request.to_json(),
+                            handle.name,
+                            handle.fingerprint,
+                        )
+                    )
             return [SolveReport.from_json(future.result()) for future in futures]
+
+    def _shm_handle_for(self, request: SolveRequest) -> Optional[PreparedGraphShm]:
+        """Publish the request's prepared graph, or ``None`` to ship JSON.
+
+        Sharing only applies when the backend actually consumes prepared
+        snapshots (and ``auto`` would not resolve to the dense solver,
+        which ignores them).  Any failure along the way — an unknown
+        backend, a graph spec that does not materialise, a full shm
+        filesystem — degrades to the plain JSON path, where the worker
+        raises the canonical error (or just re-prepares): the handoff
+        never changes what a batch computes.
+        """
+        try:
+            solver = get_backend(request.backend)
+        except Exception:
+            return None
+        if not solver.info.supports_prepared:
+            return None
+        try:
+            graph = request.graph.materialise()
+            resolved = request.backend
+            if resolved == "auto":
+                from repro.api.backends import resolve_auto
+
+                resolved = resolve_auto(graph)
+            if resolved == "dense":
+                return None
+            prepared, _ = self.prepared_cache.get(graph)
+            return _PREPARED_EXPORTS.export(prepared)
+        except Exception:
+            return None
+
+    def shutdown(self) -> None:
+        """Destroy every shared-memory segment this process published.
+
+        Cached :class:`PreparedGraph` bundles stay usable — they own
+        their buffers; only the published segments (the cross-process
+        transport) are torn down.  Safe to call repeatedly and from any
+        engine instance: the export registry is process-wide, exactly
+        like the segments themselves.  Also runs at interpreter exit via
+        ``atexit``, so an un-shut-down engine still cannot leak
+        segments past the process.
+        """
+        _PREPARED_EXPORTS.release_all()
 
     # ------------------------------------------------------------------
     # internals

@@ -26,7 +26,21 @@ Five comparisons are produced:
   :meth:`~repro.api.engine.MBBEngine.solve` of the same request against
   a fresh :class:`~repro.api.engine.PreparedGraphCache`, archiving the
   ``prepare_seconds``/``order_seconds`` stage stats that the cache hit
-  collapses.
+  collapses;
+* **handoff rows** time moving one
+  :class:`~repro.graph.prepared.PreparedGraph` to a pool worker with
+  both transports ``solve_many`` can use: the pickle round-trip
+  (serialise + deserialise every flat array) against the shared-memory
+  export/attach path (:meth:`~repro.graph.prepared.PreparedGraph.to_shm`
+  / :meth:`~repro.graph.prepared.PreparedGraph.from_shm`), where workers
+  map the typed buffers zero-copy.  ``seconds`` is the cold cost (build
+  the transport artifact *and* receive through it); ``warm_seconds`` is
+  the receive-only cost every additional worker or batch pays once the
+  blob/segment exists; ``bytes`` is the wire size of each transport.
+  The cold export pays one extra full copy into the segment, so it only
+  pays off from the second consumer on — the pool-relevant numbers are
+  ``warm_speedup`` (attach vs deserialise) and ``roundtrip_vs_attach``
+  (what a per-task pickling pool pays vs an attaching worker).
 
 Each pair runs the same algorithm with the same tie-breaking, so dense
 rows find the same optimum (node counts differ by a few percent), bridge
@@ -43,11 +57,14 @@ comparing against the committed baseline.
 
 from __future__ import annotations
 
+import gc
 import json
+import pickle
 from statistics import mean
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.harness import format_table, run_backend, timed
+from repro.graph.buffers import buffer_to_bytes
 from repro.graph.prepared import PreparedGraph
 from repro.cores.bicore import IMPL_BUCKET, IMPL_HEAP, bicore_decomposition
 from repro.cores.orders import ORDER_BIDEGENERACY
@@ -118,6 +135,22 @@ DEFAULT_ENGINE_CACHE_DATASETS = ("jester", "escorts")
 
 #: Single small stand-in for CI smoke runs of the engine cache row.
 SMOKE_ENGINE_CACHE_DATASETS = ("unicodelang",)
+
+#: Stand-ins for the prepared-snapshot handoff comparison: the same
+#: largest tough datasets, where the flat arrays a pool worker must
+#: receive are biggest and the pickle round-trip hurts most.
+DEFAULT_HANDOFF_DATASETS = DEFAULT_BRIDGE_DATASETS
+
+#: Single small stand-in for CI smoke runs of the handoff comparison.
+SMOKE_HANDOFF_DATASETS = ("unicodelang",)
+
+#: Transports compared by the handoff rows: pickling the whole prepared
+#: bundle per worker (ablation baseline) vs exporting one shared-memory
+#: segment that every worker attaches zero-copy (what ``solve_many``
+#: uses by default).
+HANDOFF_PICKLE = "pickle"
+HANDOFF_SHM = "shm"
+HANDOFF_TRANSPORTS = (HANDOFF_PICKLE, HANDOFF_SHM)
 
 KERNELS = (KERNEL_SETS, KERNEL_BITS)
 
@@ -513,6 +546,152 @@ def run_engine_cache_comparison(
     return rows
 
 
+def _handoff_equal(original: PreparedGraph, received: PreparedGraph) -> bool:
+    """True when a received bundle is byte-identical to the original.
+
+    Compares the content fingerprint, the canonical vertex-key order and
+    the raw bytes of every flat array (CSR adjacency plus the
+    ``N_{<=2}`` pair) — the artifacts whose transfer the handoff rows
+    time, and exactly what downstream peels and generators consume.
+    """
+    original_ptr, original_le2 = original.n_le2
+    received_ptr, received_le2 = received.n_le2
+    return (
+        received.fingerprint == original.fingerprint
+        and received.csr.keys == original.csr.keys
+        and received.csr.num_left == original.csr.num_left
+        and buffer_to_bytes(received.csr.indptr)
+        == buffer_to_bytes(original.csr.indptr)
+        and buffer_to_bytes(received.csr.indices)
+        == buffer_to_bytes(original.csr.indices)
+        and buffer_to_bytes(received_ptr) == buffer_to_bytes(original_ptr)
+        and buffer_to_bytes(received_le2) == buffer_to_bytes(original_le2)
+    )
+
+
+def _pickle_round_trip(prepared: PreparedGraph) -> PreparedGraph:
+    """Cold pickle transport: serialise the bundle and rebuild it."""
+    return pickle.loads(pickle.dumps(prepared, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _shm_round_trip(prepared: PreparedGraph) -> PreparedGraph:
+    """Cold shm transport: export a fresh segment, attach, destroy it."""
+    fresh = prepared.to_shm()
+    try:
+        return PreparedGraph.from_shm(fresh.name, fresh.fingerprint)
+    finally:
+        fresh.destroy()
+
+
+def run_handoff_case(
+    dataset: str,
+    *,
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Time both prepared-snapshot handoff transports on one stand-in.
+
+    The snapshot is prepared once with its ``N_{<=2}`` arrays forced, so
+    both transports ship the identical artifact set.  Per transport the
+    cold path pays the full producer+consumer round trip (``dumps`` +
+    ``loads`` for pickle; ``to_shm`` + ``from_shm`` for shared memory,
+    with the per-repeat segment destroyed inside the timed region so
+    repeats do not accumulate segments), and the warm path pays only the
+    consumer
+    side against an existing blob/segment — what every *additional*
+    worker attaching the same graph costs.  An untimed verification pass
+    first checks that both transports reproduce the original bundle
+    byte for byte (archived as ``results_match``).  The minimum over
+    ``repeats`` runs is reported; ``time_budget`` caps the repeat loop
+    per transport (each always completes at least once).
+    """
+    graph = load_dataset(dataset)
+    prepared = PreparedGraph.prepare(graph)
+    prepared.n_le2
+    fingerprint = prepared.fingerprint
+
+    blob = pickle.dumps(prepared, protocol=pickle.HIGHEST_PROTOCOL)
+
+    handle = prepared.to_shm()
+    try:
+        results_match = _handoff_equal(prepared, pickle.loads(blob)) and (
+            _handoff_equal(
+                prepared, PreparedGraph.from_shm(handle.name, fingerprint)
+            )
+        )
+
+        # (callable, args) pairs so the timed consumers stay module-level
+        # — the same picklability discipline RPL004 demands of real pool
+        # entry points.
+        transports = (
+            (
+                HANDOFF_PICKLE,
+                (_pickle_round_trip, prepared),
+                (pickle.loads, blob),
+                len(blob),
+            ),
+            (
+                HANDOFF_SHM,
+                (_shm_round_trip, prepared),
+                (PreparedGraph.from_shm, handle.name, fingerprint),
+                handle.nbytes,
+            ),
+        )
+        rows: List[Dict[str, object]] = []
+        for transport, cold, warm, nbytes in transports:
+            best_cold = float("inf")
+            best_warm = float("inf")
+            spent = 0.0
+            # Both transports churn multi-megabyte transients per repeat;
+            # without pinning the collector, a cycle landing inside one
+            # timed call swamps the millisecond-scale difference being
+            # measured.
+            gc.collect()
+            gc.disable()
+            try:
+                for _ in range(max(1, repeats)):
+                    _, cold_elapsed = timed(*cold)
+                    _, warm_elapsed = timed(*warm)
+                    best_cold = min(best_cold, cold_elapsed)
+                    best_warm = min(best_warm, warm_elapsed)
+                    spent += cold_elapsed + warm_elapsed
+                    if time_budget is not None and spent >= time_budget:
+                        break
+            finally:
+                gc.enable()
+            rows.append(
+                {
+                    "stage": "handoff",
+                    "size": dataset,
+                    "density": round(graph.density, 5),
+                    "transport": transport,
+                    "seconds": best_cold,
+                    "warm_seconds": best_warm,
+                    "bytes": nbytes,
+                    "vertices": graph.num_vertices,
+                    "results_match": results_match,
+                }
+            )
+        return rows
+    finally:
+        handle.destroy()
+
+
+def run_handoff_comparison(
+    datasets: Sequence[str] = DEFAULT_HANDOFF_DATASETS,
+    *,
+    repeats: int = 3,
+    time_budget: Optional[float] = None,
+) -> List[Dict[str, object]]:
+    """Produce all handoff rows, one per (dataset, transport)."""
+    rows: List[Dict[str, object]] = []
+    for dataset in datasets:
+        rows.extend(
+            run_handoff_case(dataset, repeats=repeats, time_budget=time_budget)
+        )
+    return rows
+
+
 def run_kernel_comparison(
     cases: Sequence[DenseCase] = DEFAULT_KERNEL_CASES,
     *,
@@ -660,12 +839,56 @@ def engine_cache_speedups(
     ]
 
 
+def handoff_speedups(
+    rows: Sequence[Dict[str, object]],
+) -> List[Dict[str, object]]:
+    """Per-dataset ``pickle / shm`` ratios for handoff rows.
+
+    ``speedup`` compares the cold producer+consumer round trips;
+    ``warm_speedup`` compares the consumer-only paths (one more worker
+    receiving an already-exported graph); ``roundtrip_vs_attach`` is the
+    steady-state operational ratio — the full pickle round trip a
+    per-task pickling pool pays against the attach-only cost a worker
+    pays under the exported segment (the export is amortised across the
+    batch, the round trip is not); ``pickle_bytes`` / ``shm_bytes``
+    archive the wire size of each transport.
+    """
+    return [
+        {
+            "stage": stage,
+            "size": size,
+            "density": density,
+            "pickle_seconds": pickle_s,
+            "shm_seconds": shm_s,
+            "speedup": pickle_s / shm_s if shm_s > 0 else float("inf"),
+            "roundtrip_vs_attach": (
+                pickle_s / float(shm_row["warm_seconds"])  # type: ignore[arg-type]
+                if float(shm_row.get("warm_seconds", 0.0)) > 0  # type: ignore[arg-type]
+                else float("inf")
+            ),
+            "warm_speedup": (
+                float(pickle_row["warm_seconds"])  # type: ignore[arg-type]
+                / float(shm_row["warm_seconds"])  # type: ignore[arg-type]
+                if float(shm_row.get("warm_seconds", 0.0)) > 0  # type: ignore[arg-type]
+                else float("inf")
+            ),
+            "pickle_bytes": int(pickle_row["bytes"]),  # type: ignore[arg-type]
+            "shm_bytes": int(shm_row["bytes"]),  # type: ignore[arg-type]
+            "results_match": bool(shm_row.get("results_match")),
+        }
+        for stage, size, density, pickle_s, shm_s, pickle_row, shm_row in (
+            _paired_cases(rows, "transport", HANDOFF_PICKLE, HANDOFF_SHM)
+        )
+    ]
+
+
 def format_kernel_comparison(
     rows: Sequence[Dict[str, object]],
     bridge_rows: Sequence[Dict[str, object]] = (),
     peel_rows: Sequence[Dict[str, object]] = (),
     subgraph_rows: Sequence[Dict[str, object]] = (),
     engine_cache_rows: Sequence[Dict[str, object]] = (),
+    handoff_rows: Sequence[Dict[str, object]] = (),
 ) -> str:
     """Render raw rows (per stage) plus the speedup summaries."""
     summary = speedups(list(rows) + list(bridge_rows))
@@ -678,6 +901,8 @@ def format_kernel_comparison(
         sections.append(format_table(list(subgraph_rows)))
     if engine_cache_rows:
         sections.append(format_table(list(engine_cache_rows)))
+    if handoff_rows:
+        sections.append(format_table(list(handoff_rows)))
     sections.append(
         format_table(summary) if summary else "(no complete kernel pairs)"
     )
@@ -702,6 +927,13 @@ def format_kernel_comparison(
             if cache_summary
             else "(no complete engine cache pairs)"
         )
+    if handoff_rows:
+        handoff_summary = handoff_speedups(handoff_rows)
+        sections.append(
+            format_table(handoff_summary)
+            if handoff_summary
+            else "(no complete handoff pairs)"
+        )
     return "\n\n".join(sections)
 
 
@@ -712,6 +944,7 @@ def write_benchmark_json(
     peel_rows: Sequence[Dict[str, object]] = (),
     subgraph_rows: Sequence[Dict[str, object]] = (),
     engine_cache_rows: Sequence[Dict[str, object]] = (),
+    handoff_rows: Sequence[Dict[str, object]] = (),
 ) -> None:
     """Archive comparison rows (plus speedups) as a JSON document."""
     document = {
@@ -720,10 +953,12 @@ def write_benchmark_json(
         "peel_rows": list(peel_rows),
         "subgraph_rows": list(subgraph_rows),
         "engine_cache_rows": list(engine_cache_rows),
+        "handoff_rows": list(handoff_rows),
         "speedups": speedups(list(rows) + list(bridge_rows)),
         "peel_speedups": peel_speedups(peel_rows),
         "subgraph_speedups": subgraph_speedups(subgraph_rows),
         "engine_cache_speedups": engine_cache_speedups(engine_cache_rows),
+        "handoff_speedups": handoff_speedups(handoff_rows),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)

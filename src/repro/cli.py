@@ -547,6 +547,7 @@ def _command_bench(args: argparse.Namespace) -> int:
             peel_datasets = kernels.SMOKE_PEEL_DATASETS
             subgraph_datasets = kernels.SMOKE_SUBGRAPH_DATASETS
             cache_datasets = kernels.SMOKE_ENGINE_CACHE_DATASETS
+            handoff_datasets = kernels.SMOKE_HANDOFF_DATASETS
             instances = 1
             peel_repeats = 1
         else:
@@ -555,6 +556,7 @@ def _command_bench(args: argparse.Namespace) -> int:
             peel_datasets = kernels.DEFAULT_PEEL_DATASETS
             subgraph_datasets = kernels.DEFAULT_SUBGRAPH_DATASETS
             cache_datasets = kernels.DEFAULT_ENGINE_CACHE_DATASETS
+            handoff_datasets = kernels.DEFAULT_HANDOFF_DATASETS
             instances = 2
             peel_repeats = 3
         rows = kernels.run_kernel_comparison(
@@ -570,9 +572,17 @@ def _command_bench(args: argparse.Namespace) -> int:
         engine_cache_rows = kernels.run_engine_cache_comparison(
             cache_datasets, repeats=peel_repeats, time_budget=budget
         )
+        handoff_rows = kernels.run_handoff_comparison(
+            handoff_datasets, repeats=peel_repeats, time_budget=budget
+        )
         print(
             kernels.format_kernel_comparison(
-                rows, bridge_rows, peel_rows, subgraph_rows, engine_cache_rows
+                rows,
+                bridge_rows,
+                peel_rows,
+                subgraph_rows,
+                engine_cache_rows,
+                handoff_rows,
             )
         )
         if args.write_json:
@@ -583,6 +593,7 @@ def _command_bench(args: argparse.Namespace) -> int:
                 peel_rows,
                 subgraph_rows,
                 engine_cache_rows,
+                handoff_rows,
             )
             print(f"\narchived rows to {args.write_json}")
     elif args.artefact == "table4":

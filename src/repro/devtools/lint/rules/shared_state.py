@@ -22,13 +22,21 @@ repository's naming convention claims) to be a prepared/CSR object —
 
 — and flags post-construction mutation through them: attribute
 assignment/``del``, element stores into the flat arrays (``keys``,
-``indptr``, ``indices``, ``labels``), and in-place mutator calls
-(``append``/``sort``/``update`` …) on object or array alike.
+``indptr``, ``indices``, ``labels`` and the flat-buffer order-view
+arrays), and in-place mutator calls (``append``/``sort``/``update`` …)
+on object or array alike.
 
-The *defining* modules are exempt: constructors, factories and the
-internal memoisation caches (``_orders``/``_views``/``_children``) live
-there by design, and confining them is exactly what makes the contract
-checkable everywhere else.
+The *defining* modules are exempt: constructors, factories, the
+flat-buffer backends and the internal memoisation caches
+(``_orders``/``_views``/``_children``) live there by design, and
+confining them is exactly what makes the contract checkable everywhere
+else.
+
+One check holds even inside the defining modules: element stores
+through a ``SharedMemory.buf`` view are allowed only in the
+``to_shm``/``from_shm`` protocol functions — an attached segment is
+mapped into every pool worker at once, so a stray write corrupts the
+graph under every concurrent solve.
 """
 
 from __future__ import annotations
@@ -50,10 +58,14 @@ TRACKED_CLASSES = (
     ("repro.graph.csr", "CSRBipartite"),
 )
 
-#: Files allowed to mutate: the classes' own constructors/factories and
-#: memoisation caches live here.
+#: Files allowed to mutate: the classes' own constructors/factories,
+#: memoisation caches and the flat-buffer backends live here.
 DEFINING_MODULES = frozenset(
-    {"src/repro/graph/prepared.py", "src/repro/graph/csr.py"}
+    {
+        "src/repro/graph/prepared.py",
+        "src/repro/graph/csr.py",
+        "src/repro/graph/buffers.py",
+    }
 )
 
 #: Roots where the contract is enforced (tests may exercise internals).
@@ -62,8 +74,28 @@ SCOPE_PREFIXES = ("src/", "benchmarks/", "examples/")
 #: Conventional receiver names treated as tracked without proof.
 CONVENTION_NAMES = frozenset({"prepared", "csr"})
 
-#: Flat-array attributes shared with pool workers.
-ARRAY_ATTRS = frozenset({"keys", "indptr", "indices", "labels"})
+#: Flat-array attributes shared with pool workers: the CSR adjacency,
+#: the label table, and the flat-buffer order-view arrays that
+#: ``OrderView`` publishes (typed buffers may be shared-memory views, so
+#: a store through them corrupts *every* attached process at once).
+ARRAY_ATTRS = frozenset(
+    {
+        "keys",
+        "indptr",
+        "indices",
+        "labels",
+        "row_ptr",
+        "flat_positions",
+        "flat_labels",
+        "position_rows",
+        "order_ids",
+        "positions",
+    }
+)
+
+#: Functions allowed to write through a ``SharedMemory.buf`` view: the
+#: segment producer and the attach-side rebuild.
+SHM_WRITER_FUNCTIONS = frozenset({"to_shm", "from_shm"})
 
 #: In-place mutator methods on lists/dicts/sets the flat arrays may be.
 MUTATOR_METHODS = frozenset(
@@ -107,7 +139,8 @@ class SharedStateRule(ProjectRule):
     name = "shared-state"
     description = (
         "no attribute/element mutation of PreparedGraph, CSRBipartite or "
-        "their flat arrays outside their defining modules"
+        "their flat arrays outside their defining modules; shared-memory "
+        "segment writes only inside to_shm/from_shm"
     )
     rationale = (
         "The engine cache publishes one PreparedGraph/CSRBipartite bundle to "
@@ -131,12 +164,74 @@ class SharedStateRule(ProjectRule):
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         for module_name in sorted(project.modules):
             info = project.modules[module_name]
-            if info.relpath in DEFINING_MODULES:
-                continue
             if not info.relpath.startswith(SCOPE_PREFIXES):
+                continue
+            # The segment-write protocol is enforced everywhere — the
+            # defining modules host ``to_shm``/``from_shm`` but get no
+            # blanket licence to scribble on attached segments.
+            yield from self._check_shm_writes(info)
+            if info.relpath in DEFINING_MODULES:
                 continue
             tracked = self._tracked_names(project, info)
             yield from self._check_module(info, tracked)
+
+    # ------------------------------------------------------------------
+    # shared-memory segment writes
+    # ------------------------------------------------------------------
+    def _check_shm_writes(self, info: ModuleInfo) -> Iterator[Finding]:
+        """Flag stores through a ``SharedMemory.buf`` view.
+
+        Attached segments are mapped into every pool worker at once, so
+        the only sanctioned writers are the export/attach protocol
+        functions (:data:`SHM_WRITER_FUNCTIONS`); a store anywhere else
+        silently corrupts the graph under every concurrently attached
+        solve.  Both ``<segment>.buf[...]`` receivers and the
+        conventional ``buf`` local a protocol function binds are
+        recognised.
+        """
+
+        def is_buf(node: ast.AST) -> bool:
+            return (isinstance(node, ast.Attribute) and node.attr == "buf") or (
+                isinstance(node, ast.Name) and node.id == "buf"
+            )
+
+        def store_targets(node: ast.AST) -> List[ast.AST]:
+            if isinstance(node, ast.Assign):
+                return list(node.targets)
+            if isinstance(node, ast.AugAssign):
+                return [node.target]
+            if isinstance(node, ast.AnnAssign) and node.value is not None:
+                return [node.target]
+            if isinstance(node, ast.Delete):
+                return list(node.targets)
+            return []
+
+        findings: List[Finding] = []
+
+        def visit(node: ast.AST, allowed: bool) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                allowed = allowed or node.name in SHM_WRITER_FUNCTIONS
+            if not allowed:
+                for target in store_targets(node):
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Subscript) and is_buf(sub.value):
+                            findings.append(
+                                self.project_finding(
+                                    info.relpath,
+                                    sub,
+                                    f"store through "
+                                    f"{_receiver_text(sub.value)}[...] writes a "
+                                    f"shared-memory segment outside "
+                                    f"to_shm/from_shm; segment bytes are owned "
+                                    f"by the export/attach protocol (attached "
+                                    f"workers map them zero-copy)",
+                                )
+                            )
+            for child in ast.iter_child_nodes(node):
+                visit(child, allowed)
+
+        visit(info.ctx.tree, False)
+        yield from findings
 
     # ------------------------------------------------------------------
     # receiver tracking

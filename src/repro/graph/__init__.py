@@ -31,10 +31,11 @@ from repro.graph.complement import bipartite_complement, complement_density
 from repro.graph.csr import CSRBipartite
 from repro.graph.prepared import (
     PreparedGraph,
+    PreparedGraphShm,
     ensure_prepared_for,
     graph_fingerprint,
 )
-from repro.graph import generators, io, validation
+from repro.graph import buffers, generators, io, validation
 
 __all__ = [
     "LEFT",
@@ -42,8 +43,10 @@ __all__ = [
     "BipartiteGraph",
     "CSRBipartite",
     "PreparedGraph",
+    "PreparedGraphShm",
     "ensure_prepared_for",
     "graph_fingerprint",
+    "buffers",
     "IndexedBitGraph",
     "iter_bits",
     "k_core_masks",

@@ -23,44 +23,83 @@ bicore engine (:mod:`repro.cores.bicore`): comparing two vertices by id is
 exactly comparing them by ``(side, repr(label))``, which is what lets the
 bucket, heap and oracle peels agree on one total order.
 
-The arrays are plain Python lists of ints.  CPython stores a list as a
-contiguous array of pointers into the small-int cache, which for
-pure-Python index loops beats ``array('q')`` (whose ``__getitem__`` boxes
-a fresh ``int`` per access) — the layout is CSR, the container is the
-fastest one the interpreter offers.
+The arrays are flat int buffers from :mod:`repro.graph.buffers` —
+``array('q')`` by default, numpy or plain lists by backend selection.
+The typed backends store eight bytes per element in one contiguous
+allocation, ship through :mod:`multiprocessing.shared_memory` as raw
+bytes, and make :meth:`CSRBipartite.neighbors` a zero-copy
+``memoryview`` window instead of a fresh list per call.  The pure-list
+backend (``REPRO_BUFFER_BACKEND=list``) keeps the historical
+representation as the no-deps fallback.
 
 A snapshot is immutable by convention: it does not track later mutations
 of the source graph, exactly like :class:`~repro.graph.bitset.
-IndexedBitGraph`.
+IndexedBitGraph` (and by machine check — RPL005).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.graph.bipartite import LEFT, RIGHT, BipartiteGraph, Vertex
+from repro.graph.buffers import (
+    IntBuffer,
+    buffer_view,
+    freeze_buffer,
+    pickleable_buffer,
+)
 
 VertexKey = Tuple[str, Vertex]
+
+
+def sorted_vertex_keys(
+    left: Iterable[Vertex], right: Iterable[Vertex]
+) -> Tuple[List[VertexKey], int]:
+    """The canonical dense-id key order: left side first, repr-sorted.
+
+    Shared by :meth:`CSRBipartite.from_bipartite` and the shared-memory
+    rebuild path so both produce the same id assignment for the same
+    graph.  Returns ``(keys, num_left)``.
+    """
+    left_sorted = sorted(left, key=repr)
+    right_sorted = sorted(right, key=repr)
+    keys: List[VertexKey] = [(LEFT, u) for u in left_sorted]
+    keys.extend((RIGHT, v) for v in right_sorted)
+    return keys, len(left_sorted)
 
 
 class CSRBipartite:
     """Immutable CSR view of a bipartite graph over dense vertex ids."""
 
-    __slots__ = ("keys", "indptr", "indices", "num_left", "num_right", "_index")
+    __slots__ = (
+        "keys",
+        "indptr",
+        "indices",
+        "num_left",
+        "num_right",
+        "_index",
+        "_rows",
+    )
 
     def __init__(
         self,
         keys: List[VertexKey],
-        indptr: List[int],
-        indices: List[int],
+        indptr: Sequence[int],
+        indices: Sequence[int],
         num_left: int,
+        *,
+        backend: Optional[str] = None,
     ) -> None:
         self.keys = keys
-        self.indptr = indptr
-        self.indices = indices
+        self.indptr: IntBuffer = freeze_buffer(indptr, backend)
+        self.indices: IntBuffer = freeze_buffer(indices, backend)
         self.num_left = num_left
         self.num_right = len(keys) - num_left
         self._index: Dict[VertexKey, int] = {key: i for i, key in enumerate(keys)}
+        # One cached slice-cheap view over the neighbour array: typed
+        # backends slice it zero-copy, the list backend falls back to
+        # list-slice semantics.
+        self._rows = buffer_view(self.indices)
 
     # ------------------------------------------------------------------
     # construction
@@ -68,11 +107,11 @@ class CSRBipartite:
     @classmethod
     def from_bipartite(cls, graph: BipartiteGraph) -> "CSRBipartite":
         """Index ``graph`` once into the flat CSR form."""
-        left = sorted(graph.left_vertices(), key=repr)
-        right = sorted(graph.right_vertices(), key=repr)
-        num_left = len(left)
-        keys: List[VertexKey] = [(LEFT, u) for u in left]
-        keys.extend((RIGHT, v) for v in right)
+        keys, num_left = sorted_vertex_keys(
+            graph.left_vertices(), graph.right_vertices()
+        )
+        left = [label for _, label in keys[:num_left]]
+        right = [label for _, label in keys[num_left:]]
         left_id = {u: i for i, u in enumerate(left)}
         right_id = {v: num_left + j for j, v in enumerate(right)}
         indptr = [0] * (len(keys) + 1)
@@ -112,14 +151,38 @@ class CSRBipartite:
 
     def degree(self, vertex: int) -> int:
         """Degree of the vertex with the given dense id."""
-        return self.indptr[vertex + 1] - self.indptr[vertex]
+        return int(self.indptr[vertex + 1]) - int(self.indptr[vertex])
 
-    def neighbors(self, vertex: int) -> List[int]:
-        """Neighbour ids of ``vertex``, ascending (a fresh list slice)."""
-        return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+    def neighbors(self, vertex: int) -> Sequence[int]:
+        """Neighbour ids of ``vertex``, ascending.
+
+        Under the typed backends this is a zero-copy view into the flat
+        neighbour array (a ``memoryview``/ndarray slice) — iterate,
+        index or ``list(...)`` it, but do not assume list identity or
+        mutate it.  Under the list backend it is a fresh list slice, the
+        historical semantics.
+        """
+        return self._rows[int(self.indptr[vertex]) : int(self.indptr[vertex + 1])]
 
     def __len__(self) -> int:
         return len(self.keys)
+
+    # ------------------------------------------------------------------
+    # pickling — drops the derived index/view state and converts any
+    # zero-copy shared-memory views back to owned arrays, so a snapshot
+    # attached via shm still crosses process boundaries when it must.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (
+            self.keys,
+            pickleable_buffer(self.indptr),
+            pickleable_buffer(self.indices),
+            self.num_left,
+        )
+
+    def __setstate__(self, state) -> None:
+        keys, indptr, indices, num_left = state
+        self.__init__(keys, indptr, indices, num_left)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

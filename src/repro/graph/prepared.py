@@ -21,6 +21,17 @@ bundle:
   (:meth:`PreparedGraph.for_subgraph`), so S1's Lemma 4 reduction only
   triggers a re-index when it actually shrinks the graph.
 
+All flat arrays live in the typed buffers of :mod:`repro.graph.buffers`,
+which is what makes a bundle *shippable*: :meth:`PreparedGraph.to_shm`
+publishes the CSR arrays, the ``N_{<=2}`` arrays and a pickled copy of
+the source graph into one :mod:`multiprocessing.shared_memory` segment,
+and :meth:`PreparedGraph.from_shm` attaches in another process and
+rebuilds the bundle with **zero-copy** views over the segment (under the
+typed backends; the pure-list fallback copies once and detaches).  The
+fingerprint stored in the segment is re-verified against the attached
+graph content, so a stale or mixed-up segment name can cost an error,
+never a wrong answer.
+
 The bundle is immutable in the same by-convention sense as
 :class:`CSRBipartite` and :class:`~repro.graph.bitset.IndexedBitGraph`:
 it does not track later mutations of the source graph.  Memoisation only
@@ -45,11 +56,25 @@ graph acyclic.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Tuple
+import pickle
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph, Vertex
-from repro.graph.csr import CSRBipartite
+from repro.graph.buffers import (
+    IntBuffer,
+    SegmentKeepalive,
+    attach_shared_memory,
+    buffer_to_bytes,
+    buffer_view,
+    create_shared_memory,
+    freeze_buffer,
+    ints_from_buffer,
+    pickleable_buffer,
+    unlink_shared_memory,
+)
+from repro.graph.csr import CSRBipartite, sorted_vertex_keys
 
 VertexKey = Tuple[str, Vertex]
 
@@ -78,6 +103,14 @@ def ensure_prepared_for(
 #: slots amortises repeated solves without letting an adversarial caller
 #: grow the bundle without bound.
 _MAX_CHILDREN = 4
+
+#: Segment format tag; bump on any layout change so a stale attacher
+#: fails loudly instead of misparsing.
+_SHM_MAGIC = b"RPGB0001"
+#: ``(num_left, num_vertices, len(indices), len(le2), len(graph_blob))``.
+_SHM_COUNTS = struct.Struct("<5q")
+_SHM_FINGERPRINT_LEN = 32
+_SHM_HEADER_LEN = len(_SHM_MAGIC) + _SHM_FINGERPRINT_LEN + _SHM_COUNTS.size
 
 
 def graph_fingerprint(graph: BipartiteGraph) -> str:
@@ -118,6 +151,50 @@ def graph_fingerprint(graph: BipartiteGraph) -> str:
     ).hexdigest()
 
 
+class PreparedGraphShm:
+    """Owner-side handle of one published :class:`PreparedGraph` segment.
+
+    Returned by :meth:`PreparedGraph.to_shm`.  The creator of a segment
+    owns its lifecycle: :meth:`destroy` (or ``close`` + ``unlink``) must
+    run exactly once when the graph leaves service — the engine calls it
+    from its eviction/shutdown hooks inside ``finally`` blocks so worker
+    crashes cannot leak segments.  All teardown methods are idempotent.
+    """
+
+    __slots__ = ("_segment", "_closed", "_unlinked", "name", "fingerprint", "nbytes")
+
+    def __init__(self, segment, fingerprint: str, nbytes: int) -> None:
+        self._segment = segment
+        self._closed = False
+        self._unlinked = False
+        #: The attach token workers receive instead of a pickled graph.
+        self.name: str = segment.name
+        self.fingerprint: str = fingerprint
+        #: Logical payload size (header + arrays + graph blob); the OS
+        #: may round the actual mapping up to a page multiple.
+        self.nbytes: int = nbytes
+
+    def close(self) -> None:
+        """Unmap the owner's view of the segment (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._segment.close()
+
+    def unlink(self) -> None:
+        """Remove the segment name from the system (idempotent)."""
+        if not self._unlinked:
+            self._unlinked = True
+            unlink_shared_memory(self._segment)
+
+    def destroy(self) -> None:
+        """Close and unlink in one idempotent call."""
+        self.close()
+        self.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PreparedGraphShm(name={self.name!r}, nbytes={self.nbytes})"
+
+
 class PreparedGraph:
     """Immutable once-indexed bundle of a graph's flat solve artifacts."""
 
@@ -131,6 +208,7 @@ class PreparedGraph:
         "_views",
         "_bicore",
         "_children",
+        "_shm",
     )
 
     def __init__(self, graph: BipartiteGraph, csr: CSRBipartite) -> None:
@@ -141,13 +219,18 @@ class PreparedGraph:
         #: generator, precomputed so the hot loop never indexes tuples.
         self.labels: List[Vertex] = [key[1] for key in csr.keys]
         self._fingerprint: Optional[str] = None
-        self._le2: Optional[Tuple[List[int], List[int]]] = None
+        self._le2: Optional[Tuple[IntBuffer, IntBuffer]] = None
         self._orders: Dict[str, List[VertexKey]] = {}
         self._views: Dict[str, "OrderView"] = {}
         self._bicore: Optional[
             Tuple[Dict[VertexKey, int], List[VertexKey]]
         ] = None
         self._children: Dict[Tuple[int, int, int], "PreparedGraph"] = {}
+        #: The attached shared-memory segment keeping this bundle's
+        #: zero-copy buffers alive, when it came from :meth:`from_shm`.
+        #: Declared *after* every buffer-holding slot so refcount
+        #: teardown releases the views before the segment unmaps.
+        self._shm = None
 
     # ------------------------------------------------------------------
     # construction
@@ -168,7 +251,7 @@ class PreparedGraph:
         return self._fingerprint
 
     @property
-    def n_le2(self) -> Tuple[List[int], List[int]]:
+    def n_le2(self) -> Tuple[IntBuffer, IntBuffer]:
         """The flat ``N_{<=2}`` adjacency ``(indptr, indices)`` (cached)."""
         if self._le2 is None:
             from repro.cores.two_hop import n_le2_flat
@@ -291,6 +374,180 @@ class PreparedGraph:
         self._children[shape] = child
         return child
 
+    # ------------------------------------------------------------------
+    # shared-memory handoff
+    # ------------------------------------------------------------------
+    def to_shm(self) -> PreparedGraphShm:
+        """Publish this bundle into one shared-memory segment.
+
+        Segment layout: magic, the content fingerprint, the five counts,
+        then the raw int64 bytes of ``csr.indptr``, ``csr.indices``,
+        ``n_le2`` pointer and index arrays (forced now — materialising
+        them once on the owner is the point of sharing), and finally a
+        pickle of the label-keyed source graph.  The graph blob rides
+        along because workers need the label-keyed form for the solvers;
+        it is unpickled **once per attach**, not once per request, which
+        is the pickling the handoff eliminates.
+
+        The caller owns the returned handle's lifecycle (see
+        :class:`PreparedGraphShm`); on a partially written segment the
+        segment is destroyed before the error propagates.
+        """
+        csr = self.csr
+        le2_ptr, le2 = self.n_le2
+        blob = pickle.dumps(self.graph, protocol=pickle.HIGHEST_PROTOCOL)
+        fingerprint = self.fingerprint.encode("ascii")
+        if len(fingerprint) != _SHM_FINGERPRINT_LEN:  # pragma: no cover
+            raise InvalidParameterError(
+                "unexpected fingerprint width; segment format needs updating"
+            )
+        chunks = [
+            _SHM_MAGIC,
+            fingerprint,
+            _SHM_COUNTS.pack(
+                csr.num_left,
+                csr.num_vertices,
+                len(csr.indices),
+                len(le2),
+                len(blob),
+            ),
+            buffer_to_bytes(csr.indptr),
+            buffer_to_bytes(csr.indices),
+            buffer_to_bytes(le2_ptr),
+            buffer_to_bytes(le2),
+            blob,
+        ]
+        nbytes = sum(len(chunk) for chunk in chunks)
+        segment = create_shared_memory(nbytes)
+        try:
+            buf = segment.buf
+            offset = 0
+            for chunk in chunks:
+                buf[offset : offset + len(chunk)] = chunk
+                offset += len(chunk)
+        except BaseException:
+            segment.close()
+            segment.unlink()
+            raise
+        return PreparedGraphShm(segment, self.fingerprint, nbytes)
+
+    @classmethod
+    def from_shm(
+        cls,
+        name: str,
+        expected_fingerprint: Optional[str] = None,
+        *,
+        backend: Optional[str] = None,
+        verify_content: bool = False,
+    ) -> "PreparedGraph":
+        """Attach to a published segment and rebuild the bundle.
+
+        Under the typed backends the CSR and ``N_{<=2}`` buffers are
+        **views over the segment** — no per-element copy, and the
+        attached segment stays referenced by the bundle for as long as
+        the bundle lives.  The pure-list backend copies the arrays once
+        and detaches immediately.
+
+        ``expected_fingerprint`` (the value the engine ships alongside
+        the segment name) must match the fingerprint stored in the
+        header, so attaching a stale, recycled or mixed-up segment
+        raises instead of silently solving the wrong graph.  Passing
+        ``verify_content=True`` additionally recomputes the fingerprint
+        from the attached graph itself — a full content re-hash that
+        costs as much as preparing the order arrays, so it is opt-in
+        (tests use it; the per-worker attach path, whose whole point is
+        being cheaper than a pickle round-trip, does not).  Dense ids
+        are rebuilt with the same canonical key sort the owner used, so
+        both sides agree on every id.
+        """
+        segment = attach_shared_memory(name)
+        try:
+            buf = segment.buf
+            offset = len(_SHM_MAGIC)
+            if bytes(buf[:offset]) != _SHM_MAGIC:
+                raise InvalidParameterError(
+                    f"shared-memory segment {name!r} is not a PreparedGraph "
+                    "segment (bad magic)"
+                )
+            fingerprint = bytes(
+                buf[offset : offset + _SHM_FINGERPRINT_LEN]
+            ).decode("ascii")
+            offset += _SHM_FINGERPRINT_LEN
+            if (
+                expected_fingerprint is not None
+                and fingerprint != expected_fingerprint
+            ):
+                raise InvalidParameterError(
+                    f"shared-memory segment {name!r} holds fingerprint "
+                    f"{fingerprint}, expected {expected_fingerprint}"
+                )
+            num_left, n, len_indices, len_le2, blob_len = _SHM_COUNTS.unpack_from(
+                buf, offset
+            )
+            offset = _SHM_HEADER_LEN
+
+            def int_region(count: int) -> IntBuffer:
+                nonlocal offset
+                region = buf[offset : offset + count * 8]
+                offset += count * 8
+                return ints_from_buffer(region, backend)
+
+            indptr = int_region(n + 1)
+            indices = int_region(len_indices)
+            le2_ptr = int_region(n + 1)
+            le2 = int_region(len_le2)
+            graph = pickle.loads(bytes(buf[offset : offset + blob_len]))
+            if verify_content and graph_fingerprint(graph) != fingerprint:
+                raise InvalidParameterError(
+                    f"shared-memory segment {name!r} content does not match "
+                    "its stored fingerprint"
+                )
+            keys, keys_num_left = sorted_vertex_keys(
+                graph.left_vertices(), graph.right_vertices()
+            )
+            if keys_num_left != num_left or len(keys) != n:
+                raise InvalidParameterError(
+                    f"shared-memory segment {name!r} shape disagrees with "
+                    "its graph payload"
+                )
+            csr = CSRBipartite(keys, indptr, indices, num_left, backend=backend)
+            prepared = cls(graph, csr)
+            prepared._le2 = (
+                freeze_buffer(le2_ptr, backend),
+                freeze_buffer(le2, backend),
+            )
+            prepared._fingerprint = fingerprint
+            if isinstance(indptr, list):
+                # List backend: everything was copied out; detach now.
+                segment.close()
+            else:
+                prepared._shm = SegmentKeepalive(segment)
+            return prepared
+        except BaseException:
+            try:
+                segment.close()
+            except BufferError:  # pragma: no cover - views still exported
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # pickling — the handoff *baseline*.  Ships the graph plus the CSR
+    # and N_<=2 arrays (converting any segment views to owned arrays);
+    # memoised orders/views/residuals are derived data and rebuild lazily.
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        le2 = self._le2
+        if le2 is not None:
+            le2 = (pickleable_buffer(le2[0]), pickleable_buffer(le2[1]))
+        return (self.graph, self.csr, self._fingerprint, le2)
+
+    def __setstate__(self, state) -> None:
+        graph, csr, fingerprint, le2 = state
+        self.__init__(graph, csr)
+        self._fingerprint = fingerprint
+        if le2 is not None:
+            self._le2 = le2
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"PreparedGraph({self.csr!r})"
 
@@ -299,13 +556,21 @@ class OrderView:
     """A prepared snapshot re-indexed along one total search order.
 
     Everything is in *position space*: vertex ``p`` is the order's
-    ``p``-th vertex, and ``adjacency[p]`` holds the positions of its
-    neighbours **sorted ascending**.  That sort is the whole trick: the
-    neighbours appearing *after* position ``p`` — the only ones
-    vertex-centred subgraph generation ever looks at — are a contiguous
-    tail located by one binary search, so the generator touches later
-    vertices only instead of filtering every neighbour with a comparison
-    (on average half the neighbourhood volume, with no per-element test).
+    ``p``-th vertex, and row ``p`` of the flat adjacency holds the
+    positions of its neighbours **sorted ascending**.  That sort is the
+    whole trick: the neighbours appearing *after* position ``p`` — the
+    only ones vertex-centred subgraph generation ever looks at — are a
+    contiguous tail located by one binary search, so the generator
+    touches later vertices only instead of filtering every neighbour
+    with a comparison (on average half the neighbourhood volume, with no
+    per-element test).
+
+    The rows are packed CSR-style into one flat positions buffer
+    (:attr:`flat_positions`, row ``p`` at
+    ``row_ptr[p]:row_ptr[p + 1]``), with :attr:`flat_labels` the
+    element-aligned label translation: a later-tail of labels is one
+    slice that feeds ``set.update`` directly, and under the typed
+    backends a later-tail of *positions* is a zero-copy view slice.
 
     Building a view costs one pass over the adjacency plus per-row sorts
     (``O(|E| log dmax)``); :meth:`PreparedGraph.order_view` memoises it
@@ -316,26 +581,36 @@ class OrderView:
         "prepared",
         "order_ids",
         "positions",
-        "adjacency",
-        "label_rows",
+        "row_ptr",
+        "flat_positions",
+        "position_rows",
+        "flat_labels",
         "is_left",
         "labels",
     )
 
     def __init__(self, prepared: "PreparedGraph", order: List[VertexKey]) -> None:
         csr = prepared.csr
-        indptr = csr.indptr
-        indices = csr.indices
+        indptr = buffer_view(csr.indptr)
+        indices = buffer_view(csr.indices)
         self.prepared = prepared
-        self.order_ids, self.positions = positions_of(csr, order)
-        positions = self.positions
-        self.adjacency: List[List[int]] = [
-            sorted(
-                positions[neighbour]
-                for neighbour in indices[indptr[vertex] : indptr[vertex + 1]]
+        order_ids, positions = positions_of(csr, order)
+        self.order_ids: List[int] = order_ids
+        self.positions: List[int] = positions
+        row_ptr = [0] * (len(order_ids) + 1)
+        flat_positions: List[int] = []
+        for p, vertex in enumerate(order_ids):
+            flat_positions.extend(
+                sorted(
+                    positions[neighbour]
+                    for neighbour in indices[indptr[vertex] : indptr[vertex + 1]]
+                )
             )
-            for vertex in self.order_ids
-        ]
+            row_ptr[p + 1] = len(flat_positions)
+        self.row_ptr: IntBuffer = freeze_buffer(row_ptr)
+        self.flat_positions: IntBuffer = freeze_buffer(flat_positions)
+        #: Slice-cheap view of :attr:`flat_positions` for the generator.
+        self.position_rows = buffer_view(self.flat_positions)
         num_left = csr.num_left
         self.is_left: List[bool] = [
             vertex < num_left for vertex in self.order_ids
@@ -347,20 +622,16 @@ class OrderView:
             prepared.labels[vertex] for vertex in self.order_ids
         ]
         labels = self.labels
-        #: Each adjacency row translated to labels, element-aligned with
-        #: :attr:`adjacency`: a later-tail of labels is then one slice
-        #: that feeds ``set.update`` directly — member sets build in C
-        #: with no per-element mapping at all.
-        self.label_rows: List[List[Vertex]] = [
-            [labels[p] for p in row] for row in self.adjacency
-        ]
+        #: :attr:`flat_positions` translated to labels, element-aligned:
+        #: member sets build in C with no per-element mapping at all.
+        self.flat_labels: List[Vertex] = [labels[p] for p in flat_positions]
 
     def __len__(self) -> int:
         return len(self.order_ids)
 
 
 def positions_of(
-    csr: CSRBipartite, order: List[VertexKey]
+    csr: CSRBipartite, order: Sequence[VertexKey]
 ) -> Tuple[List[int], List[int]]:
     """Map a key-space total order onto ``(order_ids, positions)`` arrays.
 

@@ -261,8 +261,9 @@ def iter_vertex_centred_subgraphs_csr(
     from bisect import bisect_right
 
     view = prepared.order_view(order if isinstance(order, list) else list(order))
-    adjacency = view.adjacency
-    label_rows = view.label_rows
+    rows = view.position_rows
+    row_ptr = view.row_ptr
+    flat_labels = view.flat_labels
     is_left = view.is_left
     order_ids = view.order_ids
     labels = view.labels
@@ -270,28 +271,36 @@ def iter_vertex_centred_subgraphs_csr(
     total = len(order_ids)
     make_subgraph = VertexCentredSubgraph
     parent = prepared.graph
+    end = 0
     for position in range(total):
-        row = adjacency[position]
-        cut = bisect_right(row, position)
-        if cut == len(row):
+        start = end
+        end = int(row_ptr[position + 1])
+        cut = bisect_right(rows, position, start, end)
+        if cut == end:
             # No later neighbours: the centred subgraph is the bare
             # centre.  Late-order centres hit this constantly, so skip
             # the set machinery entirely.
             own_members = {labels[position]}
             other_members: Set[Vertex] = set()
         else:
-            other_members = set(label_rows[position][cut:])
+            other_members = set(flat_labels[cut:end])
             # The 2-hop union runs entirely in C: per later neighbour,
-            # one binary search plus one set.update over the later-tail
-            # slice of its label row — no Python-level inner loop, no
-            # per-element mapping.
+            # one binary search (bounded to the neighbour's row inside
+            # the flat buffer — no row is ever materialised) plus one
+            # set.update over the later-tail slice of the element-aligned
+            # label array.  Positions are only read through `rows`, the
+            # zero-copy view, so nothing row-shaped is copied per centre.
             own_members = set()
             update = own_members.update
-            for neighbour in row[cut:]:
-                neighbour_row = adjacency[neighbour]
+            for neighbour in rows[cut:end]:
+                neighbour = int(neighbour)
+                neighbour_start = int(row_ptr[neighbour])
+                neighbour_end = int(row_ptr[neighbour + 1])
                 update(
-                    label_rows[neighbour][
-                        bisect_right(neighbour_row, position) :
+                    flat_labels[
+                        bisect_right(
+                            rows, position, neighbour_start, neighbour_end
+                        ) : neighbour_end
                     ]
                 )
             own_members.add(labels[position])

@@ -380,6 +380,49 @@ class TestSharedStateRule:
         )
         assert codes(exempt) == []
 
+    def test_shm_buf_write_outside_protocol_flagged(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            {
+                "src/repro/stage.py": """
+                    def patch(segment):
+                        segment.buf[0:8] = b"deadbeef"
+                    """,
+            },
+            rules=["RPL005"],
+        )
+        assert codes(result) == ["RPL005"]
+        assert "outside to_shm/from_shm" in result.new_findings[0].message
+
+    def test_shm_buf_write_inside_to_shm_passes(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            {
+                "src/repro/graph/prepared.py": """
+                    class PreparedGraph:
+                        def to_shm(self):
+                            segment = create(self)
+                            segment.buf[0:8] = b"RPGB0001"
+                            return segment
+                    """,
+            },
+            rules=["RPL005"],
+        )
+        assert codes(result) == []
+
+    def test_shm_buf_write_in_defining_module_still_flagged(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            {
+                "src/repro/graph/prepared.py": """
+                    def repaint(segment):
+                        segment.buf[0] = 0
+                    """,
+            },
+            rules=["RPL005"],
+        )
+        assert codes(result) == ["RPL005"]
+
 
 # ----------------------------------------------------------------------
 # RPL006 — checkpoint reachability

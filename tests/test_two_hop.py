@@ -92,4 +92,4 @@ class TestNLe2Flat:
 
     def test_empty_graph(self):
         indptr, indices = n_le2_flat(CSRBipartite.from_bipartite(BipartiteGraph()))
-        assert indptr == [0] and indices == []
+        assert list(indptr) == [0] and list(indices) == []
