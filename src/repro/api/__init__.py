@@ -27,7 +27,12 @@ True
 """
 
 from repro.api import backends as _backends  # noqa: F401  (registers built-ins)
-from repro.api.engine import MBBEngine, PreparedGraphCache, SharedPreparedExports
+from repro.api.engine import (
+    MBBEngine,
+    PreparedGraphCache,
+    RetryPolicy,
+    SharedPreparedExports,
+)
 from repro.api.registry import (
     BackendInfo,
     FunctionBackend,
@@ -39,7 +44,12 @@ from repro.api.registry import (
     unregister_backend,
 )
 from repro.api.request import (
+    ERROR_KINDS,
+    STATUS_ABORTED,
+    STATUS_ERROR,
+    STATUS_OK,
     GraphSpec,
+    SolveError,
     SolveReport,
     SolveRequest,
     sweep_requests,
@@ -57,8 +67,14 @@ __all__ = [
     "GraphSpec",
     "SolveRequest",
     "SolveReport",
+    "SolveError",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_ABORTED",
+    "ERROR_KINDS",
     "sweep_requests",
     "MBBEngine",
     "PreparedGraphCache",
+    "RetryPolicy",
     "SharedPreparedExports",
 ]

@@ -45,6 +45,18 @@ their snapshot is evicted from the cache LRU, on
 worker (or a crashed batch) can never leak a named segment, and the
 registry is pid-guarded so forked workers can never tear down their
 parent's segments.
+
+Batches are **fault-tolerant**: every worker entry point is a fault
+boundary (:func:`_guarded_solve`) converting exceptions into
+``status="error"`` reports with a structured
+:class:`~repro.api.request.SolveError`, worker deaths rebuild the pool
+under a bounded :class:`RetryPolicy` (re-submitting only the unfinished
+requests, poison-isolating reproducible crashers, degrading to serial
+when the rebuild budget runs out), and a per-request deadline watchdog
+terminates hung workers and marks their requests ``aborted``.  The
+deterministic chaos harness in :mod:`repro.devtools.faults` arms the
+injection points compiled into these boundaries, and reprolint RPL009
+keeps every pool-submitted callable behind one.
 """
 
 from __future__ import annotations
@@ -52,12 +64,33 @@ from __future__ import annotations
 import atexit
 import os
 import time
+import warnings
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from dataclasses import replace as dataclass_replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.api.registry import SolverBackend, get_backend
-from repro.api.request import SolveReport, SolveRequest
+from repro.api.request import (
+    ERROR_KIND_INJECTED_FAULT,
+    ERROR_KIND_INTERNAL,
+    ERROR_KIND_INVALID_PARAMETER,
+    ERROR_KIND_INVALID_REQUEST,
+    ERROR_KIND_RESOURCE,
+    ERROR_KIND_TIMEOUT,
+    ERROR_KIND_WORKER_CRASH,
+    STATUS_ABORTED,
+    STATUS_ERROR,
+    STATUS_OK,
+    GraphSpec,
+    SolveError,
+    SolveReport,
+    SolveRequest,
+)
+from repro.devtools import faults
+from repro.devtools.faults import InjectedFault
 from repro.exceptions import InvalidParameterError
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.prepared import PreparedGraph, PreparedGraphShm, graph_fingerprint
@@ -67,6 +100,58 @@ from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
 from repro.mbb.result import MBBResult
 
 _KERNELS = (KERNEL_BITS, KERNEL_SETS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How :meth:`MBBEngine.solve_many` reacts to failing requests.
+
+    ``max_attempts`` bounds *submissions* per request (1 = never retry);
+    a request whose submissions are exhausted while it keeps crashing
+    the pool is poison-isolated with one final in-process run through
+    the same fault boundary.  ``max_pool_rebuilds`` bounds how many
+    times a broken pool is rebuilt before the remainder of the batch
+    degrades to serial in-process execution.  Backoff before the n-th
+    rebuild grows exponentially from ``backoff_seconds`` and is capped
+    at ``backoff_cap_seconds``.  ``retryable_kinds`` names the
+    :data:`~repro.api.request.ERROR_KINDS` worth resubmitting when a
+    worker returns an error *report* (crashes are always re-submitted up
+    to ``max_attempts`` — there is no report to inspect).
+    ``watchdog_grace_seconds`` is added to a request's ``time_budget``
+    to form its completion deadline: a worker that has not produced a
+    report that long after its budget expired is presumed hung.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_cap_seconds: float = 1.0
+    max_pool_rebuilds: int = 3
+    retryable_kinds: Tuple[str, ...] = (ERROR_KIND_WORKER_CRASH,)
+    watchdog_grace_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.max_pool_rebuilds < 0:
+            raise InvalidParameterError(
+                f"max_pool_rebuilds must be >= 0, got {self.max_pool_rebuilds}"
+            )
+        if self.backoff_seconds < 0 or self.backoff_cap_seconds < 0:
+            raise InvalidParameterError("backoff seconds must be non-negative")
+        if self.watchdog_grace_seconds < 0:
+            raise InvalidParameterError("watchdog grace must be non-negative")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """No retries, no rebuilds: fail fast into error reports."""
+        return cls(max_attempts=1, max_pool_rebuilds=0, retryable_kinds=())
+
+    def backoff_for(self, rebuild: int) -> float:
+        """Seconds to back off before the ``rebuild``-th rebuild (1-based)."""
+        exponent = max(rebuild - 1, 0)
+        return min(self.backoff_seconds * (2**exponent), self.backoff_cap_seconds)
 
 
 class PreparedGraphCache:
@@ -103,6 +188,9 @@ class PreparedGraphCache:
         self.on_evict = on_evict
         self.hits = 0
         self.misses = 0
+        #: How often the shared-memory handoff around this cache degraded
+        #: to the plain JSON submit path (see ``MBBEngine._shm_handle_for``).
+        self.handoff_degradations = 0
         self._entries: "OrderedDict[str, PreparedGraph]" = OrderedDict()
 
     def get(self, graph: BipartiteGraph) -> Tuple[PreparedGraph, bool]:
@@ -147,6 +235,7 @@ class PreparedGraphCache:
             "misses": self.misses,
             "size": len(self._entries),
             "capacity": self.capacity,
+            "handoff_degradations": self.handoff_degradations,
         }
 
     def __len__(self) -> int:
@@ -235,15 +324,94 @@ def _release_prepared_export(fingerprint: str, prepared: PreparedGraph) -> None:
 _SHARED_PREPARED_CACHE = PreparedGraphCache(on_evict=_release_prepared_export)
 
 
+def _classify_error(exc: BaseException) -> str:
+    """Map an exception to its wire-format ``SolveError.kind``."""
+    if isinstance(exc, InjectedFault):
+        return ERROR_KIND_INJECTED_FAULT
+    if isinstance(exc, InvalidParameterError):
+        return ERROR_KIND_INVALID_PARAMETER
+    if isinstance(exc, (MemoryError, OSError)):
+        return ERROR_KIND_RESOURCE
+    return ERROR_KIND_INTERNAL
+
+
+def _error_report(
+    request: SolveRequest, exc: BaseException, *, attempts: int = 1
+) -> SolveReport:
+    """Convert an exception into the error report the wire carries."""
+    return SolveReport.from_error(
+        request,
+        SolveError(
+            kind=_classify_error(exc),
+            message=f"{type(exc).__name__}: {exc}",
+            attempts=attempts,
+        ),
+    )
+
+
+def _with_stat_increments(report: SolveReport, **increments: int) -> SolveReport:
+    """Return ``report`` with stat counters bumped (reports are frozen)."""
+    stats = dict(report.stats)
+    for key, delta in increments.items():
+        stats[key] = stats.get(key, 0) + delta
+    return dataclass_replace(report, stats=stats)
+
+
+def _guarded_solve(
+    request: SolveRequest,
+    *,
+    graph: Optional[BipartiteGraph] = None,
+    engine: Optional["MBBEngine"] = None,
+) -> SolveReport:
+    """The per-request fault boundary every execution path runs through.
+
+    Any exception a solve raises — including an armed ``raise`` fault —
+    becomes a ``status="error"`` report instead of propagating, so one
+    failing request can never poison a batch.  The ``worker.hang`` and
+    ``worker.solve`` injection points live here, keyed by the request
+    tag, which is what makes chaos scenarios land on a chosen request
+    independent of pool scheduling.
+    """
+    try:
+        tag = request.tag or ""
+        faults.hit("worker.hang", key=tag)
+        faults.hit("worker.solve", key=tag)
+        return (engine if engine is not None else MBBEngine()).solve(
+            request, graph=graph
+        )
+    except Exception as exc:
+        return _error_report(request, exc)
+
+
+def _invalid_request_report(payload: str, exc: Exception) -> SolveReport:
+    """Error report for a payload that does not parse into a request.
+
+    The placeholder request keeps the report wire-complete (a report
+    requires a request) while making clear nothing was solved.
+    """
+    placeholder = SolveRequest(graph=GraphSpec.inline(()), tag="<unparseable>")
+    return SolveReport.from_error(
+        placeholder,
+        SolveError(
+            kind=ERROR_KIND_INVALID_REQUEST,
+            message=f"{type(exc).__name__}: {exc}",
+        ),
+    )
+
+
 def _solve_request_json(payload: str) -> str:
     """Worker-process entry point: JSON request in, JSON report out.
 
     Module-level so it pickles by reference; the worker reconstructs the
     request from its wire form, which keeps the process-pool path on the
-    exact same format a network server would receive.
+    exact same format a network server would receive.  A fault boundary:
+    every failure comes back as an error *report*, never an exception.
     """
-    report = MBBEngine().solve(SolveRequest.from_json(payload))
-    return report.to_json()
+    try:
+        request = SolveRequest.from_json(payload)
+    except Exception as exc:
+        return _invalid_request_report(payload, exc).to_json()
+    return _guarded_solve(request).to_json()
 
 
 #: Per-process memo of attached segments, keyed by segment name.  Lives
@@ -270,8 +438,13 @@ def _attach_prepared_shm(name: str, fingerprint: str) -> Optional[PreparedGraph]
         _WORKER_ATTACHMENTS.move_to_end(name)
         return prepared
     try:
+        faults.hit("shm.attach", key=name)
         prepared = PreparedGraph.from_shm(name, fingerprint)
-    except Exception:
+    except (InvalidParameterError, OSError, ValueError, InjectedFault):
+        # Segment gone (evicted/unlinked between submit and execution),
+        # failed format/fingerprint verification, or an injected attach
+        # fault: all degrade to the JSON re-prepare path.  Anything else
+        # is a real bug and propagates into the worker fault boundary.
         return None
     _WORKER_ATTACHMENTS[name] = prepared
     _WORKER_ATTACHMENTS.move_to_end(name)
@@ -287,16 +460,21 @@ def _solve_request_shm_json(payload: str, shm_name: str, fingerprint: str) -> st
     Same wire contract as :func:`_solve_request_json`, plus the attach
     token: the worker attaches the published snapshot instead of
     materialising and re-preparing the request's graph.  If the attach
-    fails for any reason (segment evicted between submit and execution,
-    backend drift), the request falls back to the plain JSON path — the
-    handoff is an optimisation, never a correctness dependency.
+    fails (segment evicted between submit and execution, corrupted
+    content, an injected fault), the request falls back to the plain
+    JSON path and counts the degradation as ``handoff_fallbacks`` in its
+    report — the handoff is an optimisation, never a correctness
+    dependency.  A fault boundary like :func:`_solve_request_json`.
     """
+    try:
+        request = SolveRequest.from_json(payload)
+    except Exception as exc:
+        return _invalid_request_report(payload, exc).to_json()
     prepared = _attach_prepared_shm(shm_name, fingerprint)
     if prepared is None:
-        return _solve_request_json(payload)
-    request = SolveRequest.from_json(payload)
-    report = MBBEngine().solve(request, graph=prepared.graph)
-    return report.to_json()
+        report = _guarded_solve(request)
+        return _with_stat_increments(report, handoff_fallbacks=1).to_json()
+    return _guarded_solve(request, graph=prepared.graph).to_json()
 
 
 class MBBEngine:
@@ -393,6 +571,8 @@ class MBBEngine:
         max_workers: Optional[int] = None,
         parallel: bool = True,
         share_prepared: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        watchdog_seconds: Optional[float] = None,
     ) -> List[SolveReport]:
         """Execute a batch of requests, in a process pool when possible.
 
@@ -403,6 +583,27 @@ class MBBEngine:
         platform where process pools are unavailable) the batch runs
         serially in-process and produces the same reports apart from
         timings.
+
+        **Fault tolerance.**  Every request is executed behind a fault
+        boundary: a failing solve yields a ``status="error"`` report
+        carrying a structured :class:`~repro.api.request.SolveError`
+        instead of poisoning the batch.  A worker death
+        (``BrokenProcessPool`` — SIGKILL, OOM) costs only the in-flight
+        requests: the pool is rebuilt under ``retry_policy`` (defaults
+        to :class:`RetryPolicy`'s bounded exponential backoff) and the
+        unfinished requests are re-submitted, up to
+        ``RetryPolicy.max_attempts`` submissions each; a request that
+        keeps crashing the pool is poison-isolated with one final
+        in-process run, and once ``RetryPolicy.max_pool_rebuilds`` is
+        exhausted the remainder of the batch degrades to serial
+        in-process execution.  A request whose worker produces nothing
+        by its deadline — ``time_budget`` plus
+        ``RetryPolicy.watchdog_grace_seconds``, further clamped by
+        ``watchdog_seconds`` for the whole batch — is marked
+        ``status="aborted"`` and its hung worker is terminated, so a
+        wedged solve can never hang ``solve_many``.  The accounting
+        lands in each report's stats (``worker_retries``,
+        ``pool_rebuilds``, ``handoff_fallbacks``).
 
         With ``share_prepared`` (the default), each pool-bound request
         whose backend consumes prepared snapshots is prepared **once**
@@ -417,57 +618,306 @@ class MBBEngine:
         and nothing leaks if a worker dies mid-batch.
         """
         batch: Sequence[SolveRequest] = list(requests)
+        policy = retry_policy if retry_policy is not None else RetryPolicy()
+        if watchdog_seconds is not None and watchdog_seconds <= 0:
+            raise InvalidParameterError(
+                f"watchdog_seconds must be positive, got {watchdog_seconds}"
+            )
         if not batch:
             return []
         if not parallel or len(batch) == 1:
-            return [self.solve(request) for request in batch]
+            return [self._solve_isolated(request) for request in batch]
         workers = max_workers or self.max_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(batch)))
-        try:
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except (OSError, PermissionError):
+        pool = self._make_pool(workers)
+        if pool is None:
             # Process pools need working semaphores/fork support; fall
-            # back to a serial batch on platforms that refuse them.  Only
-            # pool *creation* is guarded: a request that fails inside a
-            # worker propagates instead of silently re-running the batch.
-            return [self.solve(request) for request in batch]
-        with pool:
-            futures = []
-            for request in batch:
-                handle = self._shm_handle_for(request) if share_prepared else None
-                if handle is None:
-                    futures.append(
-                        pool.submit(_solve_request_json, request.to_json())
-                    )
-                else:
-                    futures.append(
-                        pool.submit(
-                            _solve_request_shm_json,
-                            request.to_json(),
-                            handle.name,
-                            handle.fingerprint,
+            # back to a serial batch on platforms that refuse them.
+            return [self._solve_isolated(request) for request in batch]
+        return self._run_pool_batch(
+            batch,
+            pool,
+            workers,
+            policy=policy,
+            share_prepared=share_prepared,
+            watchdog_seconds=watchdog_seconds,
+        )
+
+    def _run_pool_batch(
+        self,
+        batch: Sequence[SolveRequest],
+        pool: ProcessPoolExecutor,
+        workers: int,
+        *,
+        policy: RetryPolicy,
+        share_prepared: bool,
+        watchdog_seconds: Optional[float],
+    ) -> List[SolveReport]:
+        """The deadline-aware collection loop behind :meth:`solve_many`."""
+        reports: List[Optional[SolveReport]] = [None] * len(batch)
+        attempts = [0] * len(batch)  # submissions (pool or in-process)
+        rebuilds_seen = [0] * len(batch)  # crash events each request lived through
+        deadlines: List[Optional[float]] = [None] * len(batch)
+        index_of: Dict[Future, int] = {}
+        rebuilds = 0
+
+        def submit(idx: int) -> None:
+            request = batch[idx]
+            attempts[idx] += 1
+            handle = self._shm_handle_for(request) if share_prepared else None
+            if handle is None:
+                future = pool.submit(_solve_request_json, request.to_json())
+            else:
+                future = pool.submit(
+                    _solve_request_shm_json,
+                    request.to_json(),
+                    handle.name,
+                    handle.fingerprint,
+                )
+            index_of[future] = idx
+            limit = None
+            if request.time_budget is not None:
+                limit = request.time_budget + policy.watchdog_grace_seconds
+            if watchdog_seconds is not None:
+                limit = (
+                    watchdog_seconds if limit is None else min(limit, watchdog_seconds)
+                )
+            deadlines[idx] = None if limit is None else time.perf_counter() + limit
+
+        def solve_in_process(idx: int) -> None:
+            attempts[idx] += 1
+            finish(idx, self._solve_isolated(batch[idx], attempts=attempts[idx]))
+
+        def finish(idx: int, report: SolveReport) -> None:
+            if report.error is not None and report.error.attempts != attempts[idx]:
+                report = dataclass_replace(
+                    report,
+                    error=dataclass_replace(report.error, attempts=attempts[idx]),
+                )
+            increments = {}
+            if attempts[idx] > 1:
+                increments["worker_retries"] = attempts[idx] - 1
+            if rebuilds_seen[idx]:
+                increments["pool_rebuilds"] = rebuilds_seen[idx]
+            if increments:
+                report = _with_stat_increments(report, **increments)
+            reports[idx] = report
+
+        def next_timeout() -> Optional[float]:
+            limits = [
+                deadlines[idx]
+                for idx in index_of.values()
+                if deadlines[idx] is not None
+            ]
+            if not limits:
+                return None
+            return max(0.0, min(limits) - time.perf_counter())
+
+        try:
+            for idx in range(len(batch)):
+                submit(idx)
+            while index_of:
+                done, _ = wait(
+                    frozenset(index_of),
+                    timeout=next_timeout(),
+                    return_when=FIRST_COMPLETED,
+                )
+                crashed: List[int] = []
+                for future in done:
+                    idx = index_of.pop(future)
+                    failure = future.exception()
+                    if failure is None:
+                        report = SolveReport.from_json(future.result())
+                        if (
+                            report.status == STATUS_ERROR
+                            and report.error is not None
+                            and report.error.kind in policy.retryable_kinds
+                            and attempts[idx] < policy.max_attempts
+                        ):
+                            try:
+                                submit(idx)
+                            except BrokenProcessPool:
+                                attempts[idx] -= 1  # the submission never happened
+                                crashed.append(idx)
+                        else:
+                            finish(idx, report)
+                    elif isinstance(failure, BrokenProcessPool):
+                        crashed.append(idx)
+                    else:
+                        # The worker boundary should make this unreachable
+                        # (cancellation, pickling failures); keep the batch
+                        # alive regardless.
+                        finish(
+                            idx,
+                            _error_report(batch[idx], failure, attempts=attempts[idx]),
                         )
-                    )
-            return [SolveReport.from_json(future.result()) for future in futures]
+                if crashed:
+                    # A dead worker breaks the whole executor: every future
+                    # not already done is lost with it.
+                    for future in list(index_of):
+                        crashed.append(index_of.pop(future))
+                    crashed.sort()
+                    self._terminate_pool(pool)
+                    for idx in crashed:
+                        rebuilds_seen[idx] += 1
+                    retry = [
+                        idx for idx in crashed if attempts[idx] < policy.max_attempts
+                    ]
+                    isolate = [
+                        idx for idx in crashed if attempts[idx] >= policy.max_attempts
+                    ]
+                    if retry:
+                        rebuilds += 1
+                        if rebuilds > policy.max_pool_rebuilds:
+                            # Rebuild budget exhausted: degrade the rest of
+                            # the batch to serial in-process execution.
+                            for idx in crashed:
+                                solve_in_process(idx)
+                            continue
+                        time.sleep(policy.backoff_for(rebuilds))
+                        rebuilt = self._make_pool(workers)
+                        if rebuilt is None:
+                            for idx in crashed:
+                                solve_in_process(idx)
+                            continue
+                        pool = rebuilt
+                        for idx in retry:
+                            submit(idx)
+                    # Poison isolation: a request out of pool submissions
+                    # gets one final in-process run through the same fault
+                    # boundary (worker-scoped faults are inert here).
+                    for idx in isolate:
+                        solve_in_process(idx)
+                    continue
+                # Watchdog: reports overdue past their deadline are aborted
+                # and their (presumed hung) workers reclaimed by terminating
+                # the pool — a running task cannot be cancelled.
+                now = time.perf_counter()
+                overdue = [
+                    (future, idx)
+                    for future, idx in index_of.items()
+                    if deadlines[idx] is not None and now > deadlines[idx]
+                ]
+                if overdue:
+                    for future, idx in overdue:
+                        index_of.pop(future)
+                        future.cancel()
+                        finish(
+                            idx,
+                            SolveReport.from_error(
+                                batch[idx],
+                                SolveError(
+                                    kind=ERROR_KIND_TIMEOUT,
+                                    message=(
+                                        "watchdog: worker produced no report "
+                                        "before the request deadline"
+                                    ),
+                                    attempts=attempts[idx],
+                                ),
+                                status=STATUS_ABORTED,
+                            ),
+                        )
+                    self._terminate_pool(pool)
+                    survivors = sorted(index_of.values())
+                    index_of.clear()
+                    if survivors:
+                        rebuilds += 1
+                        for idx in survivors:
+                            rebuilds_seen[idx] += 1
+                        rebuilt = (
+                            self._make_pool(workers)
+                            if rebuilds <= policy.max_pool_rebuilds
+                            else None
+                        )
+                        if rebuilt is None:
+                            for idx in survivors:
+                                solve_in_process(idx)
+                        else:
+                            pool = rebuilt
+                            for idx in survivors:
+                                submit(idx)
+        finally:
+            # Abort path: never leave submitted work running behind a
+            # raised exception — cancel what has not started and drop the
+            # queue without blocking on in-flight solves.
+            if index_of:
+                for future in list(index_of):
+                    future.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+        for idx, report in enumerate(reports):
+            if report is None:  # pragma: no cover - loop invariant backstop
+                reports[idx] = SolveReport.from_error(
+                    batch[idx],
+                    SolveError(
+                        kind=ERROR_KIND_INTERNAL,
+                        message="batch loop lost this request",
+                        attempts=attempts[idx],
+                    ),
+                )
+        return [report for report in reports if report is not None]
+
+    def _solve_isolated(self, request: SolveRequest, *, attempts: int = 1) -> SolveReport:
+        """In-process execution behind the same fault boundary as workers."""
+        report = _guarded_solve(request, engine=self)
+        if report.error is not None and report.error.attempts != attempts:
+            report = dataclass_replace(
+                report, error=dataclass_replace(report.error, attempts=attempts)
+            )
+        return report
+
+    @staticmethod
+    def _make_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+        """Build a process pool, or ``None`` where the platform refuses."""
+        try:
+            return ProcessPoolExecutor(max_workers=workers)
+        except (OSError, PermissionError):
+            return None
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Hard-stop a pool: kill its workers and drop queued work.
+
+        ``Future.cancel`` cannot reclaim a *running* task and a hung or
+        poisoned worker never returns, so the only way to get the slot
+        back is to terminate the worker processes.  ``_processes`` is
+        stdlib-private, hence the guarded access: when it is missing the
+        shutdown below still prevents new work, we just cannot reclaim
+        the stuck process early.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError, AttributeError):
+                continue
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def _shm_handle_for(self, request: SolveRequest) -> Optional[PreparedGraphShm]:
         """Publish the request's prepared graph, or ``None`` to ship JSON.
 
         Sharing only applies when the backend actually consumes prepared
         snapshots (and ``auto`` would not resolve to the dense solver,
-        which ignores them).  Any failure along the way — an unknown
-        backend, a graph spec that does not materialise, a full shm
-        filesystem — degrades to the plain JSON path, where the worker
-        raises the canonical error (or just re-prepares): the handoff
-        never changes what a batch computes.
+        which ignores them).  Expected failures degrade to the plain
+        JSON path — an unknown backend or a spec that does not
+        materialise makes the worker produce the canonical error report,
+        and shm-filesystem pressure (``OSError``/``MemoryError``) just
+        costs a re-preparation — but each degradation is counted in
+        :meth:`PreparedGraphCache.stats`, and an *unexpected* exception
+        kind additionally emits a ``RuntimeWarning`` instead of being
+        swallowed: the handoff never changes what a batch computes, yet
+        a systematic failure must not stay silent.
         """
         try:
             solver = get_backend(request.backend)
-        except Exception:
+        except InvalidParameterError:
+            # Unknown backend: the worker raises the canonical error.
             return None
         if not solver.info.supports_prepared:
             return None
         try:
+            faults.hit("shm.export", key=request.tag or "")
             graph = request.graph.materialise()
             resolved = request.backend
             if resolved == "auto":
@@ -478,7 +928,24 @@ class MBBEngine:
                 return None
             prepared, _ = self.prepared_cache.get(graph)
             return _PREPARED_EXPORTS.export(prepared)
-        except Exception:
+        except (InvalidParameterError, InjectedFault):
+            # The spec does not materialise (the worker will report the
+            # canonical error) or an injected export fault.
+            self.prepared_cache.handoff_degradations += 1
+            return None
+        except (OSError, MemoryError):
+            # Shared-memory pressure (full /dev/shm, fd limits): the
+            # sanctioned degradation — workers re-prepare from JSON.
+            self.prepared_cache.handoff_degradations += 1
+            return None
+        except Exception as exc:
+            self.prepared_cache.handoff_degradations += 1
+            warnings.warn(
+                f"shared-memory handoff degraded to the JSON path on an "
+                f"unexpected {type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def shutdown(self) -> None:

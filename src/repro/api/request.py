@@ -44,6 +44,72 @@ _SOURCE_KINDS = (
     SOURCE_POWER_LAW,
 )
 
+#: ``SolveReport.status`` values.  ``ok`` — the solve ran to a result
+#: (possibly a budget-limited, non-optimal one).  ``error`` — the solve
+#: failed; the report carries a :class:`SolveError` instead of a
+#: biclique.  ``aborted`` — the engine gave up on the request from the
+#: outside (watchdog deadline) rather than the solve failing inside.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_ABORTED = "aborted"
+
+_STATUSES = (STATUS_OK, STATUS_ERROR, STATUS_ABORTED)
+
+#: ``SolveError.kind`` taxonomy.  The engine's retry policy keys on
+#: these, so they are part of the wire contract, not free-form text.
+ERROR_KIND_INVALID_PARAMETER = "invalid_parameter"
+ERROR_KIND_INVALID_REQUEST = "invalid_request"
+ERROR_KIND_INJECTED_FAULT = "injected_fault"
+ERROR_KIND_WORKER_CRASH = "worker_crash"
+ERROR_KIND_TIMEOUT = "timeout"
+ERROR_KIND_RESOURCE = "resource"
+ERROR_KIND_INTERNAL = "internal"
+
+ERROR_KINDS = (
+    ERROR_KIND_INVALID_PARAMETER,
+    ERROR_KIND_INVALID_REQUEST,
+    ERROR_KIND_INJECTED_FAULT,
+    ERROR_KIND_WORKER_CRASH,
+    ERROR_KIND_TIMEOUT,
+    ERROR_KIND_RESOURCE,
+    ERROR_KIND_INTERNAL,
+)
+
+
+@dataclass(frozen=True)
+class SolveError:
+    """Structured failure attached to a non-``ok`` :class:`SolveReport`.
+
+    ``kind`` is one of :data:`ERROR_KINDS` (machine-matchable — the
+    retry policy and the CLI exit code dispatch on it), ``message`` is
+    the human-readable cause, and ``attempts`` counts how many times the
+    engine submitted the request before giving up (1 = failed on the
+    first and only try).
+    """
+
+    kind: str
+    message: str
+    attempts: int = 1
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SolveError":
+        """Inverse of :meth:`to_dict`."""
+        known = {error_field.name for error_field in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown error fields {sorted(unknown)}; expected {sorted(known)}"
+            )
+        return cls(**payload)  # type: ignore[arg-type]
+
 
 @dataclass(frozen=True)
 class GraphSpec:
@@ -254,6 +320,11 @@ class SolveReport:
     num_edges: int = 0
     #: Library version that produced the report (provenance).
     version: str = ""
+    #: One of :data:`STATUS_OK` / :data:`STATUS_ERROR` /
+    #: :data:`STATUS_ABORTED`; non-``ok`` reports carry :attr:`error`.
+    status: str = STATUS_OK
+    #: Structured failure cause for non-``ok`` reports, ``None`` otherwise.
+    error: Optional[SolveError] = None
 
     @classmethod
     def from_result(
@@ -285,6 +356,49 @@ class SolveReport:
             num_edges=graph.num_edges if graph is not None else 0,
             version=__version__,
         )
+
+    @classmethod
+    def from_error(
+        cls,
+        request: SolveRequest,
+        error: SolveError,
+        *,
+        status: str = STATUS_ERROR,
+        stats: Optional[Dict[str, float]] = None,
+    ) -> "SolveReport":
+        """Build a non-``ok`` report for a request that produced no result.
+
+        The report keeps the request's backend/kernel as provenance (no
+        resolution happened) and an empty biclique; ``stats`` lets the
+        engine attach retry accounting (``worker_retries`` etc.) even to
+        failed requests.
+        """
+        from repro import __version__
+
+        if status not in (STATUS_ERROR, STATUS_ABORTED):
+            raise InvalidParameterError(
+                f"error reports must have status 'error' or 'aborted', got {status!r}"
+            )
+        return cls(
+            request=request,
+            side_size=0,
+            left=(),
+            right=(),
+            optimal=False,
+            terminated_at=None,
+            elapsed_seconds=0.0,
+            stats=dict(stats or {}),
+            backend=request.backend,
+            kernel=request.kernel,
+            version=__version__,
+            status=status,
+            error=error,
+        )
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the solve produced a result (status ``ok``)."""
+        return self.status == STATUS_OK
 
     @property
     def biclique(self) -> Biclique:
@@ -318,6 +432,8 @@ class SolveReport:
             "num_right": self.num_right,
             "num_edges": self.num_edges,
             "version": self.version,
+            "status": self.status,
+            "error": self.error.to_dict() if self.error is not None else None,
         }
 
     @classmethod
@@ -336,6 +452,13 @@ class SolveReport:
         data["left"] = tuple(data.get("left", ()))  # type: ignore[arg-type]
         data["right"] = tuple(data.get("right", ()))  # type: ignore[arg-type]
         data["stats"] = dict(data.get("stats", {}))  # type: ignore[arg-type]
+        status = data.get("status", STATUS_OK)
+        if status not in _STATUSES:
+            raise InvalidParameterError(
+                f"unknown report status {status!r}; expected one of {_STATUSES}"
+            )
+        if data.get("error") is not None:
+            data["error"] = SolveError.from_dict(dict(data["error"]))  # type: ignore[arg-type]
         return cls(**data)  # type: ignore[arg-type]
 
     def to_json(self) -> str:

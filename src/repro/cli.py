@@ -7,7 +7,10 @@ any Python:
   and print its maximum balanced biclique, as text or as a JSON
   :class:`~repro.api.SolveReport`;
 * ``repro-mbb batch`` — run a JSON file of solve requests through the
-  engine's process-pool executor and emit the reports as JSON;
+  engine's fault-tolerant process-pool executor and emit the reports as
+  JSON; failed requests are summarised per cell on stderr and make the
+  command exit nonzero, and ``--max-retries``/``--no-retry`` tune the
+  engine's worker-crash :class:`~repro.api.RetryPolicy`;
 * ``repro-mbb sweep`` — expand "these dataset stand-ins x these backends"
   into a batch request file, so a fleet-style sweep is
   ``repro-mbb sweep ... | repro-mbb batch -``;
@@ -39,8 +42,10 @@ from typing import Optional, Sequence
 
 from repro import __version__
 from repro.api import (
+    STATUS_OK,
     GraphSpec,
     MBBEngine,
+    RetryPolicy,
     SolveRequest,
     available_backends,
     backend_infos,
@@ -111,6 +116,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--output", default=None, help="write the JSON reports to a file instead of stdout"
+    )
+    retry = batch.add_mutually_exclusive_group()
+    retry.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-submit a request at most N times after a worker crash "
+        "(default: engine retry policy, 2 retries)",
+    )
+    retry.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="fail a request on the first worker crash instead of retrying",
     )
 
     sweep = subparsers.add_parser(
@@ -316,8 +335,19 @@ def _command_batch(args: argparse.Namespace) -> int:
         print("error: requests file must hold a JSON array of solve requests", file=sys.stderr)
         return 2
     requests = [SolveRequest.from_dict(entry) for entry in payload]
+    if args.no_retry:
+        policy: Optional[RetryPolicy] = RetryPolicy.none()
+    elif args.max_retries is not None:
+        if args.max_retries < 0:
+            print("error: --max-retries must be >= 0", file=sys.stderr)
+            return 2
+        policy = RetryPolicy(max_attempts=args.max_retries + 1)
+    else:
+        policy = None
     engine = MBBEngine(max_workers=args.workers)
-    reports = engine.solve_many(requests, parallel=not args.serial)
+    reports = engine.solve_many(
+        requests, parallel=not args.serial, retry_policy=policy
+    )
     document = json.dumps([report.to_dict() for report in reports], indent=2)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -325,6 +355,32 @@ def _command_batch(args: argparse.Namespace) -> int:
         print(f"wrote {len(reports)} reports to {args.output}")
     else:
         print(document)
+    # Per-request failure summary on stderr: stdout stays pure JSON for
+    # pipelines, but a failed cell is still visible (and CI-fatal) even
+    # when nobody inspects the report document.
+    failed = [
+        (index, report)
+        for index, report in enumerate(reports)
+        if report.status != STATUS_OK
+    ]
+    if failed:
+        counts = {}
+        for report in reports:
+            counts[report.status] = counts.get(report.status, 0) + 1
+        summary = ", ".join(
+            f"{counts[status]} {status}" for status in sorted(counts)
+        )
+        print(f"batch finished with failures: {summary}", file=sys.stderr)
+        for index, report in failed:
+            tag = report.request.tag or f"#{index}"
+            error = report.error
+            detail = (
+                f"{error.kind}: {error.message} (attempts={error.attempts})"
+                if error is not None
+                else "no error detail"
+            )
+            print(f"  [{index}] {tag} {report.status} — {detail}", file=sys.stderr)
+        return 1
     return 0
 
 

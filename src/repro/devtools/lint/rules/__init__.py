@@ -2,7 +2,7 @@
 
 Importing this package registers every built-in rule with
 :data:`repro.devtools.lint.base.RULE_REGISTRY`.  RPL001–RPL004 are
-per-file rules; RPL005–RPL008 are project rules driven by the whole-repo
+per-file rules; RPL005–RPL009 are project rules driven by the whole-repo
 model in :mod:`repro.devtools.lint.project` (import graph, symbol
 tables, call graph):
 
@@ -32,6 +32,10 @@ RPL007    layering                 graph/cores/mbb never import
                                    cycles
 RPL008    wire-format              dataclass fields covered by their
                                    ``to_dict``/``from_dict`` round-trip pair
+RPL009    fault-boundary           pool-submitted callables reach an
+                                   ``except Exception`` fault boundary through
+                                   the call graph; ``faults.hit()`` injection
+                                   points only in designated modules
 ========  =======================  ===========================================
 
 Each rule encodes an invariant this repository already paid for in a
@@ -42,6 +46,7 @@ from repro.devtools.lint.rules import (  # noqa: F401
     budget_checkpoint,
     checkpoint_reachability,
     determinism,
+    fault_boundary,
     kernel_parity,
     layering,
     pool_safety,

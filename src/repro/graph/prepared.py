@@ -469,9 +469,15 @@ class PreparedGraph:
                     f"shared-memory segment {name!r} is not a PreparedGraph "
                     "segment (bad magic)"
                 )
-            fingerprint = bytes(
-                buf[offset : offset + _SHM_FINGERPRINT_LEN]
-            ).decode("ascii")
+            try:
+                fingerprint = bytes(
+                    buf[offset : offset + _SHM_FINGERPRINT_LEN]
+                ).decode("ascii")
+            except UnicodeDecodeError as exc:
+                raise InvalidParameterError(
+                    f"shared-memory segment {name!r} header is garbled "
+                    "(undecodable fingerprint)"
+                ) from exc
             offset += _SHM_FINGERPRINT_LEN
             if (
                 expected_fingerprint is not None
@@ -481,22 +487,43 @@ class PreparedGraph:
                     f"shared-memory segment {name!r} holds fingerprint "
                     f"{fingerprint}, expected {expected_fingerprint}"
                 )
-            num_left, n, len_indices, len_le2, blob_len = _SHM_COUNTS.unpack_from(
-                buf, offset
-            )
-            offset = _SHM_HEADER_LEN
+            # A truncated or corrupted body must surface as the canonical
+            # validation error — the attach-side degradation path keys on
+            # it — never as a raw struct/pickle/buffer failure.
+            try:
+                num_left, n, len_indices, len_le2, blob_len = _SHM_COUNTS.unpack_from(
+                    buf, offset
+                )
+                offset = _SHM_HEADER_LEN
 
-            def int_region(count: int) -> IntBuffer:
-                nonlocal offset
-                region = buf[offset : offset + count * 8]
-                offset += count * 8
-                return ints_from_buffer(region, backend)
+                def int_region(count: int) -> IntBuffer:
+                    nonlocal offset
+                    region = buf[offset : offset + count * 8]
+                    offset += count * 8
+                    return ints_from_buffer(region, backend)
 
-            indptr = int_region(n + 1)
-            indices = int_region(len_indices)
-            le2_ptr = int_region(n + 1)
-            le2 = int_region(len_le2)
-            graph = pickle.loads(bytes(buf[offset : offset + blob_len]))
+                indptr = int_region(n + 1)
+                indices = int_region(len_indices)
+                le2_ptr = int_region(n + 1)
+                le2 = int_region(len_le2)
+                graph = pickle.loads(bytes(buf[offset : offset + blob_len]))
+            except InvalidParameterError:
+                raise
+            except (
+                struct.error,
+                pickle.UnpicklingError,
+                ValueError,
+                TypeError,
+                EOFError,
+                IndexError,
+                KeyError,
+                AttributeError,
+                MemoryError,
+            ) as exc:
+                raise InvalidParameterError(
+                    f"shared-memory segment {name!r} body is corrupted or "
+                    f"truncated: {type(exc).__name__}: {exc}"
+                ) from exc
             if verify_content and graph_fingerprint(graph) != fingerprint:
                 raise InvalidParameterError(
                     f"shared-memory segment {name!r} content does not match "

@@ -138,7 +138,7 @@ class SearchContext:
         parallel S3 tomorrow — poll this form between children instead
         of re-deriving the budget arithmetic themselves.
         """
-        if self.cancelled or (self.cancel_hook is not None and self.cancel_hook()):
+        if self.cancelled or self._poll_cancel_hook():
             self.cancelled = True
             self.aborted = True
             raise SearchAborted("search cancelled")
@@ -155,6 +155,27 @@ class SearchContext:
         ):
             self.aborted = True
             raise SearchAborted(f"node budget {self.node_budget} exhausted")
+
+    def _poll_cancel_hook(self) -> bool:
+        """Poll :attr:`cancel_hook`, treating a *crashing* hook as a cancel.
+
+        The hook is supervision plumbing (a cross-process flag reader, a
+        server's disconnect probe): if it raises, supervision is broken
+        and the search can no longer be stopped from outside.  Aborting
+        cleanly — incumbent preserved, ``optimal=False`` — is strictly
+        safer than letting an arbitrary exception destroy the solve from
+        a hot loop, and it is the same contract a ``True`` return has.
+        ``SearchAborted`` from a hook that cancels by raising is passed
+        through untouched.
+        """
+        if self.cancel_hook is None:
+            return False
+        try:
+            return bool(self.cancel_hook())
+        except SearchAborted:
+            raise
+        except Exception:
+            return True
 
     def remaining_node_budget(self) -> Optional[int]:
         """Search nodes left before the node budget trips (``None`` = unbounded).

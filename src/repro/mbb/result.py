@@ -113,6 +113,15 @@ class SearchStats:
     #: solve (0/0 for backends that never touch the cache).
     prepared_cache_hits: int = 0
     prepared_cache_misses: int = 0
+    #: Fault-tolerance accounting, stamped by the engine's batch layer
+    #: (``MBBEngine.solve_many``), never by solvers: resubmissions this
+    #: request needed beyond its first (``worker_retries``), pool
+    #: rebuilds its attempts lived through (``pool_rebuilds``), and how
+    #: often the shared-memory handoff degraded to re-materialising the
+    #: graph from the JSON wire form (``handoff_fallbacks``).
+    worker_retries: int = 0
+    pool_rebuilds: int = 0
+    handoff_fallbacks: int = 0
 
     def record_node(self, depth: int) -> None:
         """Record entry into a branch-and-bound node at the given depth."""
@@ -162,6 +171,9 @@ class SearchStats:
         self.prepare_seconds += other.prepare_seconds
         self.prepared_cache_hits += other.prepared_cache_hits
         self.prepared_cache_misses += other.prepared_cache_misses
+        self.worker_retries += other.worker_retries
+        self.pool_rebuilds += other.pool_rebuilds
+        self.handoff_fallbacks += other.handoff_fallbacks
 
 
 #: Step labels reported by the sparse framework (Table 5, column "hbvMBB").

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import solve_mbb
-from repro.api import GraphSpec, MBBEngine, SolveRequest
+from repro.api import GraphSpec, MBBEngine, SolveReport, SolveRequest
 from repro.exceptions import InvalidParameterError
 from repro.graph.generators import random_bipartite
 from repro.mbb.context import SearchAborted, SearchContext
@@ -214,9 +214,13 @@ class TestSolveMany:
             "size-constrained",
         ]
 
-    def test_worker_error_propagates_instead_of_serial_rerun(self):
-        # An invalid request must surface its error, not silently trigger
-        # a full serial re-run of the batch.
+    def test_worker_error_is_isolated_to_its_request(self):
+        # An invalid request must surface as a structured error report on
+        # that request alone — the rest of the batch still solves, and
+        # nothing silently re-runs (PR 9 replaced the raise-on-first-error
+        # contract with per-request isolation).
+        from repro.api import STATUS_ERROR, STATUS_OK
+
         requests = [
             SolveRequest(graph=GraphSpec.random(6, 6, 0.5, seed=s), backend="dense")
             for s in range(2)
@@ -227,8 +231,19 @@ class TestSolveMany:
                 node_budget=5,  # brute_force rejects budgets
             )
         ]
-        with pytest.raises(InvalidParameterError):
-            MBBEngine().solve_many(requests)
+        reports = MBBEngine().solve_many(requests)
+        assert [report.status for report in reports] == [
+            STATUS_OK,
+            STATUS_OK,
+            STATUS_ERROR,
+        ]
+        failed = reports[2]
+        assert failed.error is not None
+        assert failed.error.kind == "invalid_parameter"
+        assert "budget" in failed.error.message
+        assert not failed.optimal and failed.side_size == 0
+        # The wire codec carries the error losslessly (RPL008 contract).
+        assert SolveReport.from_json(failed.to_json()) == failed
 
     def test_serial_batch_over_one_graph_amortises_preparation(self):
         from repro.api import PreparedGraphCache

@@ -129,6 +129,58 @@ class TestBatchCommand:
         assert exit_code == 2
         assert "array" in capsys.readouterr().err
 
+    def test_batch_surfaces_per_request_failures(self, tmp_path, capsys):
+        requests = [
+            {
+                "graph": {
+                    "kind": "random",
+                    "n_left": 6,
+                    "n_right": 6,
+                    "density": 0.5,
+                    "seed": 1,
+                },
+                "backend": "dense",
+                "tag": "good",
+            },
+            {
+                "graph": {
+                    "kind": "random",
+                    "n_left": 6,
+                    "n_right": 6,
+                    "density": 0.5,
+                    "seed": 2,
+                },
+                "backend": "brute_force",
+                "node_budget": 5,  # brute_force rejects budgets
+                "tag": "bad",
+            },
+        ]
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(requests), encoding="utf-8")
+        exit_code = main(["batch", str(path), "--serial", "--no-retry"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        reports = json.loads(captured.out)
+        assert [(r["request"]["tag"], r["status"]) for r in reports] == [
+            ("good", "ok"),
+            ("bad", "error"),
+        ]
+        assert reports[1]["error"]["kind"] == "invalid_parameter"
+        assert "bad" in captured.err
+        assert "invalid_parameter" in captured.err
+
+    def test_batch_accepts_retry_flags(self, tmp_path, capsys):
+        path = self._requests_file(tmp_path, count=2)
+        exit_code = main(["batch", str(path), "--serial", "--max-retries", "1"])
+        assert exit_code == 0
+        assert len(json.loads(capsys.readouterr().out)) == 2
+
+    def test_batch_rejects_negative_max_retries(self, tmp_path, capsys):
+        path = self._requests_file(tmp_path, count=1)
+        exit_code = main(["batch", str(path), "--max-retries", "-1"])
+        assert exit_code == 2
+        assert "--max-retries" in capsys.readouterr().err
+
     def test_batch_missing_file_is_a_clean_error(self, tmp_path, capsys):
         exit_code = main(["batch", str(tmp_path / "absent.json")])
         assert exit_code == 2

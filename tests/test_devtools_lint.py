@@ -57,6 +57,7 @@ class TestFramework:
             "RPL006",
             "RPL007",
             "RPL008",
+            "RPL009",
         ]
 
     def test_rule_subset_selection(self):
@@ -80,6 +81,7 @@ class TestFramework:
             "RPL006",
             "RPL007",
             "RPL008",
+            "RPL009",
         ]
         assert all(row[1] and row[2] for row in table)
 

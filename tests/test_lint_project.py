@@ -761,6 +761,158 @@ class TestWireFormatRule:
 
 
 # ----------------------------------------------------------------------
+# RPL009 — fault boundaries and injection-point confinement
+# ----------------------------------------------------------------------
+
+#: A stand-in for the faults module so fixture projects can resolve
+#: ``repro.devtools.faults.hit`` the way the real repository does.
+FAULTS_MODULE_FIXTURE = """
+    def hit(point, *, key=""):
+        pass
+    """
+
+
+class TestFaultBoundaryRule:
+    def test_submitted_callable_without_boundary_flagged(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            {
+                "src/repro/api/runner.py": """
+                    def _solve_payload(payload):
+                        return payload.upper()
+
+                    def run(pool, payload):
+                        return pool.submit(_solve_payload, payload)
+                    """,
+            },
+            rules=["RPL009"],
+        )
+        assert codes(result) == ["RPL009"]
+        assert "_solve_payload" in result.new_findings[0].message
+
+    def test_direct_boundary_handler_passes(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            {
+                "src/repro/api/runner.py": """
+                    def _solve_payload(payload):
+                        try:
+                            return payload.upper()
+                        except Exception as exc:
+                            return str(exc)
+
+                    def run(pool, payload):
+                        return pool.submit(_solve_payload, payload)
+                    """,
+            },
+            rules=["RPL009"],
+        )
+        assert codes(result) == []
+
+    def test_boundary_reached_through_a_helper_passes(self, tmp_path):
+        # The engine's real shape: the submitted entry point delegates to
+        # a guarded helper, so the proof must walk the call graph.
+        result = lint_fixture(
+            tmp_path,
+            {
+                "src/repro/api/runner.py": """
+                    def _guarded(payload):
+                        try:
+                            return payload.upper()
+                        except Exception as exc:
+                            return str(exc)
+
+                    def _solve_payload(payload):
+                        return _guarded(payload)
+
+                    def run(pool, payload):
+                        return pool.submit(_solve_payload, payload)
+                    """,
+            },
+            rules=["RPL009"],
+        )
+        assert codes(result) == []
+
+    def test_unresolvable_submit_argument_is_left_to_rpl004(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            {
+                "src/repro/api/runner.py": """
+                    def run(pool, solver, payload):
+                        return pool.submit(solver.step, payload)
+                    """,
+            },
+            rules=["RPL009"],
+        )
+        assert codes(result) == []
+
+    def test_hit_outside_designated_modules_flagged(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            {
+                # ``from repro.devtools import faults`` resolves as a
+                # module binding only when the package itself exists.
+                "src/repro/__init__.py": "",
+                "src/repro/devtools/__init__.py": "",
+                "src/repro/devtools/faults.py": FAULTS_MODULE_FIXTURE,
+                "src/repro/mbb/kernel.py": """
+                    from repro.devtools import faults
+
+                    def solve(graph):
+                        faults.hit("kernel.solve")
+                        return graph
+                    """,
+            },
+            rules=["RPL009"],
+        )
+        assert codes(result) == ["RPL009"]
+        assert "src/repro/mbb/kernel.py" in result.new_findings[0].path
+
+    def test_hit_imported_by_name_is_flagged_too(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            {
+                "src/repro/devtools/faults.py": FAULTS_MODULE_FIXTURE,
+                "src/repro/graph/io.py": """
+                    from repro.devtools.faults import hit
+
+                    def load(path):
+                        hit("io.load", key=path)
+                        return path
+                    """,
+            },
+            rules=["RPL009"],
+        )
+        assert codes(result) == ["RPL009"]
+
+    def test_hit_in_designated_module_passes(self, tmp_path):
+        result = lint_fixture(
+            tmp_path,
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/devtools/__init__.py": "",
+                "src/repro/devtools/faults.py": FAULTS_MODULE_FIXTURE,
+                "src/repro/api/engine.py": """
+                    from repro.devtools import faults
+
+                    def _guarded_solve(payload):
+                        try:
+                            faults.hit("worker.solve", key=payload)
+                            return payload.upper()
+                        except Exception as exc:
+                            return str(exc)
+                    """,
+            },
+            rules=["RPL009"],
+        )
+        assert codes(result) == []
+
+    def test_repo_fault_boundaries_are_covered(self):
+        result = run_lint(["src"], root=str(REPO_ROOT), rules=["RPL009"])
+        assert codes(result) == [], render_text(result)
+
+
+# ----------------------------------------------------------------------
 # CLI polish and determinism
 # ----------------------------------------------------------------------
 class TestCliPolish:
