@@ -51,9 +51,12 @@ boundary (:func:`_guarded_solve`) converting exceptions into
 ``status="error"`` reports with a structured
 :class:`~repro.api.request.SolveError`, worker deaths rebuild the pool
 under a bounded :class:`RetryPolicy` (re-submitting only the unfinished
-requests, poison-isolating reproducible crashers, degrading to serial
-when the rebuild budget runs out), and a per-request deadline watchdog
-terminates hung workers and marks their requests ``aborted``.  The
+requests — crash suspects one at a time, so blame can never land on an
+innocent co-flier — and finishing reproducible crashers as
+``worker_crash`` reports, or isolating them in-process on explicit
+opt-in), and a per-request
+deadline watchdog — whose clock starts when a worker picks the request
+up — terminates hung workers and marks their requests ``aborted``.  The
 deterministic chaos harness in :mod:`repro.devtools.faults` arms the
 injection points compiled into these boundaries, and reprolint RPL009
 keeps every pool-submitted callable behind one.
@@ -65,7 +68,7 @@ import atexit
 import os
 import time
 import warnings
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -101,6 +104,12 @@ from repro.mbb.result import MBBResult
 
 _KERNELS = (KERNEL_BITS, KERNEL_SETS)
 
+#: How often the batch loop re-polls while some submitted request is
+#: still waiting for a worker slot: its watchdog deadline can only be
+#: stamped once its future reports ``running()``, and ``wait()`` would
+#: otherwise block indefinitely on a deadline-less future.
+_WATCHDOG_POLL_SECONDS = 0.05
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -108,26 +117,39 @@ class RetryPolicy:
 
     ``max_attempts`` bounds *submissions* per request (1 = never retry);
     a request whose submissions are exhausted while it keeps crashing
-    the pool is poison-isolated with one final in-process run through
-    the same fault boundary.  ``max_pool_rebuilds`` bounds how many
+    the pool is finished as a ``worker_crash`` error report.  Requests
+    implicated in a crash are re-submitted one at a time with nothing
+    else in flight, so only the actual crasher can repeatedly burn
+    attempts — a request that merely shared the pool with it is
+    implicated at most once.  Setting
+    ``in_process_fallback`` instead re-runs such a poison request — and
+    a batch whose pool-rebuild budget ran out — in-process behind the
+    same fault boundary; it is opt-in because a request that genuinely
+    segfaults or OOMs a worker would then take the parent (and every
+    collected report) with it.  ``max_pool_rebuilds`` bounds how many
     times a broken pool is rebuilt before the remainder of the batch
-    degrades to serial in-process execution.  Backoff before the n-th
-    rebuild grows exponentially from ``backoff_seconds`` and is capped
-    at ``backoff_cap_seconds``.  ``retryable_kinds`` names the
+    stops being retried (or, with ``in_process_fallback``, degrades to
+    serial in-process execution).  Backoff before the n-th rebuild
+    grows exponentially from ``backoff_seconds`` and is capped at
+    ``backoff_cap_seconds``.  ``retryable_kinds`` names the
     :data:`~repro.api.request.ERROR_KINDS` worth resubmitting when a
-    worker returns an error *report* (crashes are always re-submitted up
-    to ``max_attempts`` — there is no report to inspect).
-    ``watchdog_grace_seconds`` is added to a request's ``time_budget``
-    to form its completion deadline: a worker that has not produced a
-    report that long after its budget expired is presumed hung.
+    worker returns an error *report*; it is empty by default because
+    worker crashes never produce a report to inspect — they surface as
+    ``BrokenProcessPool`` and are always re-submitted up to
+    ``max_attempts`` through that path.  ``watchdog_grace_seconds`` is
+    added to a request's ``time_budget`` to form its completion
+    deadline; the deadline clock starts when a worker actually picks
+    the request up, not at submission, so queued requests do not burn
+    their budget waiting for a slot.
     """
 
     max_attempts: int = 3
     backoff_seconds: float = 0.05
     backoff_cap_seconds: float = 1.0
     max_pool_rebuilds: int = 3
-    retryable_kinds: Tuple[str, ...] = (ERROR_KIND_WORKER_CRASH,)
+    retryable_kinds: Tuple[str, ...] = ()
     watchdog_grace_seconds: float = 5.0
+    in_process_fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -593,17 +615,20 @@ class MBBEngine:
         to :class:`RetryPolicy`'s bounded exponential backoff) and the
         unfinished requests are re-submitted, up to
         ``RetryPolicy.max_attempts`` submissions each; a request that
-        keeps crashing the pool is poison-isolated with one final
-        in-process run, and once ``RetryPolicy.max_pool_rebuilds`` is
-        exhausted the remainder of the batch degrades to serial
-        in-process execution.  A request whose worker produces nothing
-        by its deadline — ``time_budget`` plus
+        keeps crashing the pool — and the whole crash cohort once
+        ``RetryPolicy.max_pool_rebuilds`` is exhausted — is finished as
+        a ``worker_crash`` error report (or re-run in-process when the
+        policy opts into ``in_process_fallback``).  A request whose
+        worker produces nothing by its deadline — ``time_budget`` plus
         ``RetryPolicy.watchdog_grace_seconds``, further clamped by
-        ``watchdog_seconds`` for the whole batch — is marked
-        ``status="aborted"`` and its hung worker is terminated, so a
-        wedged solve can never hang ``solve_many``.  The accounting
-        lands in each report's stats (``worker_retries``,
-        ``pool_rebuilds``, ``handoff_fallbacks``).
+        ``watchdog_seconds`` for the whole batch, with the clock
+        starting when a worker actually picks the request up — is
+        marked ``status="aborted"`` and its hung worker is terminated.
+        A wedged solve therefore cannot hang ``solve_many`` *provided
+        it has a deadline*: a request with no ``time_budget`` in a
+        batch run without ``watchdog_seconds`` is waited on
+        indefinitely.  The accounting lands in each report's stats
+        (``worker_retries``, ``pool_rebuilds``, ``handoff_fallbacks``).
 
         With ``share_prepared`` (the default), each pool-bound request
         whose backend consumes prepared snapshots is prepared **once**
@@ -657,13 +682,20 @@ class MBBEngine:
         reports: List[Optional[SolveReport]] = [None] * len(batch)
         attempts = [0] * len(batch)  # submissions (pool or in-process)
         rebuilds_seen = [0] * len(batch)  # crash events each request lived through
-        deadlines: List[Optional[float]] = [None] * len(batch)
+        limits: List[Optional[float]] = [None] * len(batch)  # relative budgets
+        deadlines: List[Optional[float]] = [None] * len(batch)  # stamped at start
         index_of: Dict[Future, int] = {}
         rebuilds = 0
 
-        def submit(idx: int) -> None:
+        #: Requests waiting for a worker slot, as ``(idx, count_attempt)``.
+        #: At most ``workers`` futures are ever outstanding (see ``pump``),
+        #: so a queued request is held *here* — with no future and no
+        #: deadline clock — never inside the executor's call queue, where
+        #: its future would be marked running while it merely waits.
+        pending: "deque[Tuple[int, bool]]" = deque()
+
+        def submit(idx: int, *, count_attempt: bool = True) -> None:
             request = batch[idx]
-            attempts[idx] += 1
             handle = self._shm_handle_for(request) if share_prepared else None
             if handle is None:
                 future = pool.submit(_solve_request_json, request.to_json())
@@ -674,6 +706,8 @@ class MBBEngine:
                     handle.name,
                     handle.fingerprint,
                 )
+            if count_attempt:
+                attempts[idx] += 1
             index_of[future] = idx
             limit = None
             if request.time_budget is not None:
@@ -682,11 +716,76 @@ class MBBEngine:
                 limit = (
                     watchdog_seconds if limit is None else min(limit, watchdog_seconds)
                 )
-            deadlines[idx] = None if limit is None else time.perf_counter() + limit
+            limits[idx] = limit
+            # The deadline is *not* stamped here: the clock starts when a
+            # worker actually picks the request up (see stamp_deadlines),
+            # so a queued request cannot be declared overdue — and its
+            # batch falsely aborted — just for waiting out earlier waves.
+            deadlines[idx] = None
+
+        def pump() -> None:
+            """Feed pending requests to the pool, one per free worker slot.
+
+            A crash *suspect* — a request that already lived through a
+            pool crash and has not finished — is only ever submitted
+            alone, with nothing else in flight: a further crash then
+            implicates exactly that request, so poison attribution can
+            never burn an innocent co-flier's attempts and declare it a
+            crasher.  Quarantine serialises only the post-crash recovery
+            wave; a healthy batch pumps at full width.
+            """
+            if any(rebuilds_seen[idx] for idx in index_of.values()):
+                return  # a suspect is in flight alone; let it finish
+            while pending and len(index_of) < workers:
+                idx, count_attempt = pending[0]
+                if rebuilds_seen[idx] and index_of:
+                    return  # quarantine: wait for the pool to drain first
+                try:
+                    submit(idx, count_attempt=count_attempt)
+                except (BrokenProcessPool, RuntimeError):
+                    # The pool died (BrokenProcessPool) or was already
+                    # terminated (submit-after-shutdown RuntimeError); leave
+                    # the queue intact — the loop rebuilds before pumping
+                    # again, via the crash path or the empty-pool guard.
+                    return
+                pending.popleft()
+                if rebuilds_seen[idx]:
+                    return  # the suspect flies solo
+
+        def drain_pending_in_process() -> None:
+            # No pool left to run them.  Pending requests were never in
+            # flight during a crash, so serial in-process execution is as
+            # safe for them as the documented ``parallel=False`` path.
+            while pending:
+                idx, _ = pending.popleft()
+                solve_in_process(idx)
+
+        def stamp_deadlines() -> None:
+            now = time.perf_counter()
+            for future, idx in index_of.items():
+                if (
+                    deadlines[idx] is None
+                    and limits[idx] is not None
+                    and future.running()
+                ):
+                    deadlines[idx] = now + limits[idx]
 
         def solve_in_process(idx: int) -> None:
             attempts[idx] += 1
             finish(idx, self._solve_isolated(batch[idx], attempts=attempts[idx]))
+
+        def finish_crashed(idx: int, why: str) -> None:
+            finish(
+                idx,
+                SolveReport.from_error(
+                    batch[idx],
+                    SolveError(
+                        kind=ERROR_KIND_WORKER_CRASH,
+                        message=f"worker process died executing this request ({why})",
+                        attempts=attempts[idx],
+                    ),
+                ),
+            )
 
         def finish(idx: int, report: SolveReport) -> None:
             if report.error is not None and report.error.attempts != attempts[idx]:
@@ -704,19 +803,47 @@ class MBBEngine:
             reports[idx] = report
 
         def next_timeout() -> Optional[float]:
-            limits = [
+            stamped = [
                 deadlines[idx]
                 for idx in index_of.values()
                 if deadlines[idx] is not None
             ]
-            if not limits:
-                return None
-            return max(0.0, min(limits) - time.perf_counter())
+            timeout = None
+            if stamped:
+                timeout = max(0.0, min(stamped) - time.perf_counter())
+            if any(
+                deadlines[idx] is None and limits[idx] is not None
+                for idx in index_of.values()
+            ):
+                # Some budgeted request has not been stamped yet: poll so
+                # its deadline starts promptly once a worker picks it up.
+                timeout = (
+                    _WATCHDOG_POLL_SECONDS
+                    if timeout is None
+                    else min(timeout, _WATCHDOG_POLL_SECONDS)
+                )
+            return timeout
 
         try:
-            for idx in range(len(batch)):
-                submit(idx)
-            while index_of:
+            pending.extend((idx, True) for idx in range(len(batch)))
+            while index_of or pending:
+                pump()
+                if not index_of:
+                    # The pool refused every submission (it broke before
+                    # accepting work): rebuild it or finish the remainder.
+                    self._terminate_pool(pool)
+                    rebuilds += 1
+                    rebuilt = (
+                        self._make_pool(workers)
+                        if rebuilds <= policy.max_pool_rebuilds
+                        else None
+                    )
+                    if rebuilt is None:
+                        drain_pending_in_process()
+                    else:
+                        pool = rebuilt
+                    continue
+                stamp_deadlines()
                 done, _ = wait(
                     frozenset(index_of),
                     timeout=next_timeout(),
@@ -734,11 +861,7 @@ class MBBEngine:
                             and report.error.kind in policy.retryable_kinds
                             and attempts[idx] < policy.max_attempts
                         ):
-                            try:
-                                submit(idx)
-                            except BrokenProcessPool:
-                                attempts[idx] -= 1  # the submission never happened
-                                crashed.append(idx)
+                            pending.append((idx, True))
                         else:
                             finish(idx, report)
                     elif isinstance(failure, BrokenProcessPool):
@@ -769,39 +892,69 @@ class MBBEngine:
                     if retry:
                         rebuilds += 1
                         if rebuilds > policy.max_pool_rebuilds:
-                            # Rebuild budget exhausted: degrade the rest of
-                            # the batch to serial in-process execution.
+                            # Rebuild budget exhausted: finish the crash
+                            # cohort without a pool — in-process only on
+                            # explicit opt-in, because one of these requests
+                            # is likely the crasher and a genuine
+                            # segfault/OOM would take the parent (and every
+                            # collected report) with it.  Queued requests
+                            # were never implicated; run them serially.
                             for idx in crashed:
-                                solve_in_process(idx)
+                                if policy.in_process_fallback:
+                                    solve_in_process(idx)
+                                else:
+                                    finish_crashed(
+                                        idx, "pool rebuild budget exhausted"
+                                    )
+                            drain_pending_in_process()
                             continue
                         time.sleep(policy.backoff_for(rebuilds))
                         rebuilt = self._make_pool(workers)
                         if rebuilt is None:
                             for idx in crashed:
-                                solve_in_process(idx)
+                                if policy.in_process_fallback:
+                                    solve_in_process(idx)
+                                else:
+                                    finish_crashed(idx, "pool rebuild refused")
+                            drain_pending_in_process()
                             continue
                         pool = rebuilt
-                        for idx in retry:
-                            submit(idx)
-                    # Poison isolation: a request out of pool submissions
-                    # gets one final in-process run through the same fault
-                    # boundary (worker-scoped faults are inert here).
+                        pending.extendleft((idx, True) for idx in reversed(retry))
+                    # Poison isolation: a request out of pool submissions is
+                    # finished as a worker_crash error report — or, on
+                    # explicit opt-in, gets one final in-process run through
+                    # the same fault boundary (worker-scoped injected faults
+                    # are inert there; real crashers are not).
                     for idx in isolate:
-                        solve_in_process(idx)
+                        if policy.in_process_fallback:
+                            solve_in_process(idx)
+                        else:
+                            finish_crashed(idx, "pool submissions exhausted")
                     continue
-                # Watchdog: reports overdue past their deadline are aborted
+                # Watchdog: requests overdue past their *started* deadline
+                # (stamped only once their future was running) are aborted
                 # and their (presumed hung) workers reclaimed by terminating
                 # the pool — a running task cannot be cancelled.
                 now = time.perf_counter()
                 overdue = [
                     (future, idx)
                     for future, idx in index_of.items()
-                    if deadlines[idx] is not None and now > deadlines[idx]
+                    if deadlines[idx] is not None
+                    and now > deadlines[idx]
+                    and not future.done()
                 ]
                 if overdue:
+                    hung: List[int] = []
+                    requeue: List[int] = []
                     for future, idx in overdue:
                         index_of.pop(future)
-                        future.cancel()
+                        if future.cancel():
+                            # The future never actually ran (its deadline
+                            # was stamped while it sat prefetched in the
+                            # call queue): nothing to abort — requeue it.
+                            requeue.append(idx)
+                            continue
+                        hung.append(idx)
                         finish(
                             idx,
                             SolveReport.from_error(
@@ -817,13 +970,21 @@ class MBBEngine:
                                 status=STATUS_ABORTED,
                             ),
                         )
+                    if not hung:
+                        # Nothing actually hung — the pool is healthy.
+                        pending.extendleft(
+                            (idx, False) for idx in sorted(requeue, reverse=True)
+                        )
+                        continue
                     self._terminate_pool(pool)
-                    survivors = sorted(index_of.values())
+                    survivors = sorted(set(index_of.values()) | set(requeue))
                     index_of.clear()
                     if survivors:
+                        # Innocent bystanders of the termination: their
+                        # resubmission neither burns an attempt nor accrues
+                        # retry/rebuild stats in their reports — the
+                        # batch-level rebuild budget still bounds the loop.
                         rebuilds += 1
-                        for idx in survivors:
-                            rebuilds_seen[idx] += 1
                         rebuilt = (
                             self._make_pool(workers)
                             if rebuilds <= policy.max_pool_rebuilds
@@ -832,10 +993,12 @@ class MBBEngine:
                         if rebuilt is None:
                             for idx in survivors:
                                 solve_in_process(idx)
+                            drain_pending_in_process()
                         else:
                             pool = rebuilt
-                            for idx in survivors:
-                                submit(idx)
+                            pending.extendleft(
+                                (idx, False) for idx in reversed(survivors)
+                            )
         finally:
             # Abort path: never leave submitted work running behind a
             # raised exception — cancel what has not started and drop the

@@ -9,8 +9,9 @@ any Python:
 * ``repro-mbb batch`` — run a JSON file of solve requests through the
   engine's fault-tolerant process-pool executor and emit the reports as
   JSON; failed requests are summarised per cell on stderr and make the
-  command exit nonzero, and ``--max-retries``/``--no-retry`` tune the
-  engine's worker-crash :class:`~repro.api.RetryPolicy`;
+  command exit nonzero, and ``--max-retries``/``--no-retry``/
+  ``--in-process-fallback`` tune the engine's worker-crash
+  :class:`~repro.api.RetryPolicy`;
 * ``repro-mbb sweep`` — expand "these dataset stand-ins x these backends"
   into a batch request file, so a fleet-style sweep is
   ``repro-mbb sweep ... | repro-mbb batch -``;
@@ -34,6 +35,7 @@ code, so the CLI composes with shell pipelines.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -130,6 +132,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-retry",
         action="store_true",
         help="fail a request on the first worker crash instead of retrying",
+    )
+    batch.add_argument(
+        "--in-process-fallback",
+        action="store_true",
+        help="re-run a request that exhausted its crash retries in-process "
+        "(recovers reproducible crashers, but a genuine segfault/OOM then "
+        "takes the whole batch down)",
     )
 
     sweep = subparsers.add_parser(
@@ -344,6 +353,11 @@ def _command_batch(args: argparse.Namespace) -> int:
         policy = RetryPolicy(max_attempts=args.max_retries + 1)
     else:
         policy = None
+    if args.in_process_fallback:
+        policy = dataclasses.replace(
+            policy if policy is not None else RetryPolicy(),
+            in_process_fallback=True,
+        )
     engine = MBBEngine(max_workers=args.workers)
     reports = engine.solve_many(
         requests, parallel=not args.serial, retry_policy=policy

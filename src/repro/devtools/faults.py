@@ -20,8 +20,9 @@ boundaries:
 ``shm.attach``
     Inside :func:`repro.api.engine._attach_prepared_shm`, keyed by the
     segment name.  ``raise`` forces the attach to fail (exercising the
-    shm → JSON re-prepare degradation); ``corrupt`` flips a byte of the
-    named segment so the format/fingerprint verification itself rejects
+    shm → JSON re-prepare degradation); ``corrupt`` damages a byte of
+    the named segment (idempotently, so concurrent workers cannot undo
+    each other) and the format/fingerprint verification itself rejects
     it.
 ``shm.export``
     Parent-side, in :meth:`MBBEngine._shm_handle_for`, keyed by the
@@ -41,7 +42,8 @@ pool scheduling — the crash lands on the same request every run.
 Firing is scoped: ``scope="worker"`` specs only fire inside a process
 that has a parent (``multiprocessing.parent_process() is not None``), so
 an armed ``exit``/``hang`` fault cannot take down the test runner when
-the engine deliberately re-runs a poison request in-process.
+the engine runs a request in-process — the serial degradation paths, or
+a poison re-run under ``RetryPolicy(in_process_fallback=True)``.
 
 reprolint rule RPL009 pins the discipline that injection points stay
 confined to this module and the engine's fault boundaries — scattering
@@ -295,13 +297,17 @@ def _fire(spec: FaultSpec, point: str, key: str) -> None:
 
 
 def _corrupt_segment(name: str, offset: int) -> None:
-    """Flip one byte of the named shared-memory segment.
+    """Corrupt one byte of the named shared-memory segment.
 
     Used by ``corrupt`` faults at ``shm.attach`` (where the hit key is
     the segment name) to prove the attach-side format/fingerprint
     verification rejects a damaged segment instead of solving garbage.
     Destructive by design: every later attach of this segment must fall
-    back too.
+    back too.  The write sets the byte's high bit rather than XOR-ing
+    it, so the corruption is *idempotent*: two workers firing the same
+    fault back to back leave the segment corrupted, where a second XOR
+    would flip the byte back to valid mid-race.  Aim it at an ASCII
+    header field (magic, fingerprint) where the high bit is never set.
     """
     from multiprocessing import shared_memory
 
@@ -310,6 +316,6 @@ def _corrupt_segment(name: str, offset: int) -> None:
         # A deliberate out-of-protocol segment write: this is the one
         # sanctioned exception to the RPL005 to_shm/from_shm confinement,
         # existing precisely to test that readers survive corruption.
-        segment.buf[offset] ^= 0xFF  # reprolint: disable=RPL005
+        segment.buf[offset] |= 0x80  # reprolint: disable=RPL005
     finally:
         segment.close()

@@ -31,6 +31,7 @@ from repro.api import (
 from repro.api.request import (
     ERROR_KIND_INJECTED_FAULT,
     ERROR_KIND_TIMEOUT,
+    ERROR_KIND_WORKER_CRASH,
 )
 from repro.devtools import faults
 from repro.devtools.faults import (
@@ -216,10 +217,10 @@ class TestWorkerFaults:
         # Acceptance criterion: a worker that dies hard (os._exit, as a
         # SIGKILL/OOM stand-in) on the request tagged g2 costs neither the
         # batch nor the other requests.  The pool is rebuilt up to
-        # max_attempts submissions for g2, which then gets poison-isolated
-        # in-process (worker-scoped faults are inert there) and still
-        # completes; the accounting is exact because the fault follows the
-        # tag, not pool scheduling.
+        # max_attempts submissions for g2; with in_process_fallback the
+        # poison request then gets one in-process run (worker-scoped
+        # faults are inert there) and still completes; the accounting is
+        # exact because the fault follows the tag, not pool scheduling.
         plan = FaultPlan.of(
             FaultSpec(
                 point="worker.solve",
@@ -233,7 +234,9 @@ class TestWorkerFaults:
         before = _shm_entries()
         engine = MBBEngine(max_workers=2)
         try:
-            reports = engine.solve_many(_requests(4))
+            reports = engine.solve_many(
+                _requests(4), retry_policy=RetryPolicy(in_process_fallback=True)
+            )
         finally:
             engine.shutdown()
         assert [r.request.tag for r in reports] == ["g0", "g1", "g2", "g3"]
@@ -247,7 +250,73 @@ class TestWorkerFaults:
         assert [r.side_size for r in reports] == [r.side_size for r in serial]
         _assert_no_new_shm_segments(before)
 
-    def test_no_retry_policy_poison_isolates_on_first_crash(self, monkeypatch):
+    def test_poison_request_errors_without_in_process_fallback(self, monkeypatch):
+        # Default policy: a request that crashes every pool submission is
+        # finished as a structured worker_crash report — it is NOT re-run
+        # in the parent, where a genuine segfault/OOM would take the whole
+        # batch (and every collected report) down with it.  With two
+        # workers, g3 may be in flight when g2 first kills the pool; the
+        # quarantine (crash suspects resubmit alone) guarantees that only
+        # g2 can ever exhaust its attempts, so every other status is
+        # deterministically ok.
+        plan = FaultPlan.of(
+            FaultSpec(
+                point="worker.solve",
+                action=ACTION_EXIT,
+                match="g2",
+                times=3,
+                scope=SCOPE_WORKER,
+            )
+        )
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_env())
+        before = _shm_entries()
+        engine = MBBEngine(max_workers=2)
+        try:
+            reports = engine.solve_many(_requests(4))
+        finally:
+            engine.shutdown()
+        assert [r.request.tag for r in reports] == ["g0", "g1", "g2", "g3"]
+        poisoned = reports[2]
+        assert poisoned.status == STATUS_ERROR
+        assert poisoned.error is not None
+        assert poisoned.error.kind == ERROR_KIND_WORKER_CRASH
+        assert poisoned.error.attempts == 3  # max_attempts, all crashed
+        assert poisoned.stats["worker_retries"] == 2
+        assert poisoned.stats["pool_rebuilds"] == 3
+        others = [r for i, r in enumerate(reports) if i != 2]
+        assert all(r.status == STATUS_OK for r in others)
+        _assert_no_new_shm_segments(before)
+
+    def test_no_retry_policy_fails_fast_with_worker_crash_report(self, monkeypatch):
+        plan = FaultPlan.of(
+            FaultSpec(
+                point="worker.solve",
+                action=ACTION_EXIT,
+                match="g1",
+                times=3,
+                scope=SCOPE_WORKER,
+            )
+        )
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_env())
+        # One worker: requests run one at a time, so the crash costs
+        # exactly the crashing request and the rest of the batch drains
+        # deterministically.
+        engine = MBBEngine(max_workers=1)
+        try:
+            reports = engine.solve_many(
+                _requests(3), retry_policy=RetryPolicy.none()
+            )
+        finally:
+            engine.shutdown()
+        # max_attempts=1, max_pool_rebuilds=0, no in-process fallback: the
+        # first crash is final and surfaces as a structured report.
+        assert [r.status for r in reports] == [STATUS_OK, STATUS_ERROR, STATUS_OK]
+        failed = reports[1]
+        assert failed.error is not None
+        assert failed.error.kind == ERROR_KIND_WORKER_CRASH
+        assert failed.error.attempts == 1
+
+    def test_poison_isolation_opt_in_recovers_on_first_crash(self, monkeypatch):
         plan = FaultPlan.of(
             FaultSpec(
                 point="worker.solve",
@@ -261,15 +330,68 @@ class TestWorkerFaults:
         engine = MBBEngine(max_workers=2)
         try:
             reports = engine.solve_many(
-                _requests(3), retry_policy=RetryPolicy.none()
+                _requests(3),
+                retry_policy=RetryPolicy(
+                    max_attempts=1,
+                    max_pool_rebuilds=0,
+                    in_process_fallback=True,
+                ),
             )
         finally:
             engine.shutdown()
-        # max_attempts=1: no pool retry, straight to in-process isolation,
-        # where the worker-scoped fault cannot fire — the request recovers.
+        # max_attempts=1 with the opt-in: no pool retry, straight to
+        # in-process isolation, where the worker-scoped fault cannot fire
+        # — the request recovers.
         assert all(r.status == STATUS_OK for r in reports)
         assert reports[1].stats["worker_retries"] == 1
         assert reports[1].stats["pool_rebuilds"] == 1
+
+    def test_queued_requests_do_not_burn_watchdog_budget(self, monkeypatch):
+        # Regression: deadlines used to be stamped at submission time for
+        # the whole batch, so with more requests than workers a slow first
+        # wave falsely aborted every queued request once its
+        # time_budget + grace elapsed — with the clock running while the
+        # request was still waiting for a slot.  The deadline clock must
+        # start only when a worker actually picks the request up.
+        plan = FaultPlan.of(
+            FaultSpec(
+                point="worker.hang",
+                action=ACTION_HANG,
+                arg=1.5,
+                match="g0",
+                scope=SCOPE_WORKER,
+            ),
+            FaultSpec(
+                point="worker.hang",
+                action=ACTION_HANG,
+                arg=1.5,
+                match="g1",
+                scope=SCOPE_WORKER,
+            ),
+        )
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_env())
+        slow = _requests(2)  # g0, g1: no budget, stalled 1.5s by the fault
+        fast = [
+            SolveRequest(
+                graph=GraphSpec.random(7, 7, 0.5, seed=seed),
+                backend="dense",
+                tag=f"g{seed}",
+                time_budget=0.25,
+            )
+            for seed in (2, 3)
+        ]
+        engine = MBBEngine(max_workers=2)
+        try:
+            reports = engine.solve_many(
+                slow + fast,
+                retry_policy=RetryPolicy(watchdog_grace_seconds=0.25),
+            )
+        finally:
+            engine.shutdown()
+        # g2/g3 wait ~1.5s for a worker slot — three times their 0.5s
+        # deadline — and must still complete, never be falsely aborted.
+        assert [r.request.tag for r in reports] == ["g0", "g1", "g2", "g3"]
+        assert [r.status for r in reports] == [STATUS_OK] * 4
 
     def test_hung_worker_is_aborted_by_the_watchdog(self, monkeypatch):
         plan = FaultPlan.of(
@@ -329,10 +451,10 @@ class TestHandoffFaults:
         _assert_no_new_shm_segments(before)
 
     def test_corrupted_segment_is_rejected_not_solved(self, monkeypatch):
-        # Flip the first header byte (the magic) before the first attach:
-        # format verification must reject the segment and every request
-        # must fall back to re-preparing from JSON — same answers, no
-        # solve over garbage.
+        # Corrupt the first header byte (the magic) before the first
+        # attach: format verification must reject the segment and every
+        # request must fall back to re-preparing from JSON — same
+        # answers, no solve over garbage.
         plan = FaultPlan.of(
             FaultSpec(
                 point="shm.attach",
