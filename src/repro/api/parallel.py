@@ -1,0 +1,675 @@
+"""Parallel S3: fan surviving subgraphs over a process pool.
+
+One big solve should saturate all cores.  The verification stage (S3)
+searches each surviving vertex-centred subgraph independently — the
+embarrassing parallelism the paper's framework implies but the serial
+loop in :mod:`repro.mbb.verify` never exploits.  This module is the
+service-layer half of that stage: it installs itself into
+:func:`repro.mbb.verify.register_parallel_verifier` (the RPL007
+dependency inversion — kernel modules never import pools or shared
+memory) and, when :func:`repro.mbb.verify.verify_mbb` offers it a
+scheduled family, dispatches *positions* instead of subgraphs:
+
+* the prepared snapshot of the residual graph is published once through
+  the engine's shared-memory registry (the PR 8 handoff), and each task
+  carries only the segment name, the fingerprint, the order name and a
+  tuple of integer order positions — workers attach by name (memoised
+  per process) and regenerate exactly their slice of the family with
+  :func:`repro.mbb.vertex_centred.vertex_centred_subgraphs_at`;
+* the schedule is hardest-first (descending min-side bound), chunked so
+  stragglers start early and the pool round trip amortises;
+* incumbent improvements broadcast both ways through an
+  :class:`IncumbentChannel` — three ``multiprocessing.Value`` primitives
+  inherited by workers through the pool *initializer* (synchronized
+  objects must never ride a ``submit`` payload; reprolint RPL004 flags
+  the attempt) — so in-flight searches tighten their Lemma-5/size
+  bounds mid-search, and chunks whose bound can no longer beat the
+  incumbent are pruned parent-side without ever being submitted;
+* a parent-side abort (deadline, cancel hook) flips the channel's
+  cancel flag — every worker's ``cancel_hook`` polls it through
+  ``SearchContext.checkpoint()`` — and the pool is discarded so a
+  wedged worker cannot poison later solves;
+* worker failures degrade, never lose: a task that errors inside its
+  fault boundary (or cannot attach the segment) is re-run serially in
+  the parent, and worker deaths (``BrokenProcessPool``) trigger bounded
+  pool rebuilds before the unfinished remainder degrades to the serial
+  loop — the incumbent lives in the parent and survives all of it.
+
+**Determinism.**  The final incumbent *size* always equals the serial
+stage's: every subgraph is either searched exhaustively (with a floor
+that only ever names the size of a real biclique, hence never exceeds
+the optimum) or pruned by a bound the serial loop would apply too.  The
+witness can vary with scheduling in the default mode; ``strict`` mode
+(:class:`~repro.mbb.verify.ParallelVerifyOptions`) pins it by searching
+every subgraph from the stage's starting floor in its own context and
+applying results in subgraph order — bitwise-reproducible across runs
+and worker counts, at the cost of the mid-flight broadcasts.
+
+The pool is module-level and persists across solves (a generation
+counter makes stale tasks inert), which is what lets repeated solves
+amortise worker start-up and per-worker segment attaches.  It is keyed
+by worker count *and* the :envvar:`REPRO_FAULTS` spec, so chaos tests
+arming env faults never inherit a pool from before the arming.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools import faults
+from repro.graph.prepared import PreparedGraph
+from repro.mbb import verify as _verify
+from repro.mbb.context import SearchAborted, SearchContext
+from repro.mbb.result import SearchStats
+from repro.mbb.vertex_centred import (
+    VertexCentredSubgraph,
+    vertex_centred_subgraphs_at,
+)
+
+#: Parent re-poll cadence while tasks are in flight: short enough that a
+#: deadline or cancel hook fires promptly, long enough to stay off the
+#: hot path (mirrors the engine's watchdog poll).
+_POLL_SECONDS = 0.05
+
+#: Chunks submitted per worker over a stage's lifetime: enough slack for
+#: dynamic balancing, few enough that late chunks exist to be pruned by
+#: broadcast incumbents.
+_CHUNKS_PER_WORKER = 4
+
+#: Task outcome markers (first element of every ``_run_s3_task`` return).
+_TASK_OK = "ok"
+_TASK_STALE = "stale"
+_TASK_DEGRADED = "degraded"
+_TASK_ERROR = "error"
+
+
+class IncumbentChannel:
+    """The cross-process incumbent: three shared values, parent-owned.
+
+    ``best`` carries the best known side size (advisory — the witness
+    always travels with a task result), ``cancel`` the abort flag, and
+    ``generation`` a monotone counter that makes tasks from a previous
+    stage inert after the parent has moved on.  Workers receive the
+    values through pool-initializer inheritance, the only transport
+    synchronized primitives support.
+    """
+
+    def __init__(self) -> None:
+        self.best = multiprocessing.Value("q", 0)
+        self.cancel = multiprocessing.Value("b", 0)
+        self.generation = multiprocessing.Value("q", 0)
+
+    def begin(self, floor: int) -> int:
+        """Start a new stage: reset cancel/best, return the new generation."""
+        with self.cancel.get_lock():
+            self.cancel.value = 0
+        with self.best.get_lock():
+            self.best.value = int(floor)
+        with self.generation.get_lock():
+            self.generation.value += 1
+            return int(self.generation.value)
+
+    def cancel_generation(self) -> None:
+        """Tell every in-flight worker to abort at its next checkpoint."""
+        with self.cancel.get_lock():
+            self.cancel.value = 1
+
+
+@dataclass
+class _WorkerChannel:
+    """Worker-side view of the channel (set by the pool initializer)."""
+
+    best: object
+    cancel: object
+    generation: object
+
+
+#: Installed in each worker by :func:`_init_worker_channel`.
+_WORKER_CHANNEL: Optional[_WorkerChannel] = None
+
+
+def _init_worker_channel(best: object, cancel: object, generation: object) -> None:
+    """Pool initializer: adopt the parent's shared incumbent values."""
+    global _WORKER_CHANNEL
+    _WORKER_CHANNEL = _WorkerChannel(best=best, cancel=cancel, generation=generation)
+
+
+class _GenerationCancelled:
+    """Picklable ``cancel_hook``: fires on cancel flag or stale generation.
+
+    A module-level callable *object* (not a lambda/closure — the RPL004
+    discipline) holding only the task's generation number; the shared
+    values themselves are read through the worker-global channel, so the
+    hook never captures an unpicklable synchronized primitive.
+    """
+
+    __slots__ = ("generation",)
+
+    def __init__(self, generation: int) -> None:
+        self.generation = generation
+
+    def __call__(self) -> bool:
+        channel = _WORKER_CHANNEL
+        if channel is None:
+            return False
+        return bool(
+            channel.cancel.value  # type: ignore[attr-defined]
+            or int(channel.generation.value) != self.generation  # type: ignore[attr-defined]
+        )
+
+
+def _run_s3_task(task: Tuple[object, ...]) -> Tuple[object, ...]:
+    """Worker entry point: search one chunk of centred subgraphs.
+
+    The task tuple carries only picklable primitives (the positions and
+    their min-side bounds, the segment name, the submit-time floor,
+    kernel switches, the remaining wall allowance).  Everything here runs behind the ``except
+    Exception`` fault boundary (RPL009): any failure — including an
+    injected ``worker.solve`` fault — becomes a structured marker the
+    parent degrades to its serial path, never a poisoned pool.
+
+    Returns ``(status, improvements, stats_dict, aborted)`` where
+    ``improvements`` is a list of ``(position, left, right)`` witness
+    tuples that beat the submit-time floor.
+    """
+    positions: Tuple[int, ...] = ()
+    try:
+        (
+            generation,
+            segment,
+            fingerprint,
+            order_name,
+            positions,
+            bounds,
+            floor,
+            branching,
+            use_core_pruning,
+            kernel,
+            strict,
+            time_budget,
+            tag,
+        ) = task
+        faults.hit("worker.hang", key=tag)
+        faults.hit("worker.solve", key=tag)
+        channel = _WORKER_CHANNEL
+        if channel is not None and int(channel.generation.value) != generation:  # type: ignore[attr-defined]
+            return (_TASK_STALE, positions, None, False)
+        from repro.api.engine import _attach_prepared_shm
+
+        prepared = _attach_prepared_shm(segment, fingerprint)
+        if prepared is None:
+            return (_TASK_DEGRADED, positions, None, False)
+        order = prepared.search_order(order_name)
+        stats = SearchStats()
+        # Pre-sift before materialising: a position whose min-side bound
+        # cannot beat the floor would be skipped by the search anyway, so
+        # don't pay to regenerate its subgraph.  Strict mode sifts against
+        # the submit-time floor only (deterministic); the default mode also
+        # reads the live broadcast, which is exactly the parent-side prune
+        # applied one level deeper.
+        sift = int(floor)
+        if not strict and channel is not None:
+            sift = max(sift, int(channel.best.value))  # type: ignore[attr-defined]
+        kept = [
+            position
+            for position, bound in zip(positions, bounds)
+            if bound > sift
+        ]
+        if not strict:
+            stats.s3_pruned_by_broadcast += len(positions) - len(kept)
+        subs = vertex_centred_subgraphs_at(prepared, order, kept)
+        cancel_hook = _GenerationCancelled(generation) if channel is not None else None
+        improvements: List[Tuple[int, Tuple[object, ...], Tuple[object, ...]]] = []
+        aborted = False
+        if strict:
+            # Reproducible witnesses: every subgraph searches from the
+            # stage's starting floor in a fresh context (no carry-over
+            # within the chunk, no broadcasts), so its result depends on
+            # nothing but the subgraph and the floor.  The outer clock
+            # shrinks each successive subgraph's wall allowance.
+            clock = SearchContext(time_budget=time_budget)
+            for sub in subs:
+                context = SearchContext(
+                    incumbent_floor=floor,
+                    time_budget=clock.remaining_time_budget(),
+                    cancel_hook=cancel_hook,
+                )
+                try:
+                    context.checkpoint()
+                    _verify.search_subgraph(
+                        sub,
+                        context,
+                        branching=branching,
+                        use_core_pruning=use_core_pruning,
+                        kernel=kernel,
+                    )
+                except SearchAborted:
+                    pass
+                stats.merge(context.stats)
+                if context.best.side_size > floor:
+                    improvements.append(
+                        (
+                            sub.position,
+                            tuple(context.best.left),
+                            tuple(context.best.right),
+                        )
+                    )
+                if context.aborted:
+                    aborted = True
+                    break
+        else:
+            context = SearchContext(
+                incumbent_floor=floor,
+                shared_best_side=channel.best if channel is not None else None,
+                time_budget=time_budget,
+                cancel_hook=cancel_hook,
+            )
+            _verify.verify_serial(
+                subs,
+                context,
+                branching=branching,
+                use_core_pruning=use_core_pruning,
+                kernel=kernel,
+            )
+            stats.merge(context.stats)
+            aborted = context.aborted
+            if context.best.side_size > floor:
+                improvements.append(
+                    (
+                        int(positions[0]) if positions else 0,
+                        tuple(context.best.left),
+                        tuple(context.best.right),
+                    )
+                )
+        return (_TASK_OK, improvements, asdict(stats), aborted)
+    except Exception as exc:
+        return (_TASK_ERROR, positions, repr(exc), False)
+
+
+# ----------------------------------------------------------------------
+# parent-side pool lifecycle
+# ----------------------------------------------------------------------
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS: int = 0
+_POOL_FAULT_ENV: Optional[str] = None
+_CHANNEL: Optional[IncumbentChannel] = None
+
+
+def _ensure_pool(
+    workers: int,
+) -> Optional[Tuple[ProcessPoolExecutor, IncumbentChannel]]:
+    """The persistent S3 pool (built on demand), or ``None`` if refused.
+
+    Rebuilt when the requested worker count changes or the armed
+    :envvar:`REPRO_FAULTS` spec differs from the one the current workers
+    inherited.  The channel outlives pools: its generation counter is
+    what keeps tasks from a terminated stage inert.
+    """
+    global _POOL, _POOL_WORKERS, _POOL_FAULT_ENV, _CHANNEL
+    fault_env = os.environ.get(faults.ENV_VAR)
+    if _POOL is not None and (
+        _POOL_WORKERS != workers or _POOL_FAULT_ENV != fault_env
+    ):
+        shutdown()
+    if _POOL is None:
+        if _CHANNEL is None:
+            _CHANNEL = IncumbentChannel()
+        try:
+            _POOL = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker_channel,
+                initargs=(_CHANNEL.best, _CHANNEL.cancel, _CHANNEL.generation),
+            )
+        except (OSError, PermissionError):
+            _POOL = None
+            return None
+        _POOL_WORKERS = workers
+        _POOL_FAULT_ENV = fault_env
+    return _POOL, _CHANNEL
+
+
+def _discard_pool() -> None:
+    """Hard-stop the current pool (workers terminated, futures dropped)."""
+    global _POOL, _POOL_WORKERS
+    pool = _POOL
+    _POOL = None
+    _POOL_WORKERS = 0
+    if pool is not None:
+        from repro.api.engine import MBBEngine
+
+        MBBEngine._terminate_pool(pool)
+
+
+def shutdown() -> None:
+    """Terminate the S3 pool (if any); the next dispatch rebuilds it.
+
+    Called by :meth:`repro.api.engine.MBBEngine.shutdown` and at
+    interpreter exit, and by tests that arm pool-wide fault plans.
+    """
+    _discard_pool()
+
+
+atexit.register(shutdown)
+
+
+# ----------------------------------------------------------------------
+# parent-side dispatch
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Chunk:
+    """One pool task: a contiguous hardest-first slice of the schedule."""
+
+    index: int
+    subs: List[VertexCentredSubgraph]
+
+    @property
+    def bound(self) -> int:
+        """Best possible side size any member can produce (Lemma 6 test)."""
+        return self.subs[0].min_side if self.subs else 0
+
+    @property
+    def positions(self) -> Tuple[int, ...]:
+        return tuple(sub.position for sub in self.subs)
+
+    @property
+    def bounds(self) -> Tuple[int, ...]:
+        """Per-position min-side bounds, shipped so workers can sift
+        dead positions before paying to rematerialise their subgraphs."""
+        return tuple(sub.min_side for sub in self.subs)
+
+
+def _chunk_schedule(
+    schedule: Sequence[VertexCentredSubgraph], workers: int
+) -> List[_Chunk]:
+    """Slice the hardest-first schedule into pool-task chunks."""
+    size = max(1, len(schedule) // (workers * _CHUNKS_PER_WORKER))
+    return [
+        _Chunk(index=index, subs=list(schedule[start : start + size]))
+        for index, start in enumerate(range(0, len(schedule), size))
+    ]
+
+
+def parallel_verify(
+    ordered: Sequence[VertexCentredSubgraph],
+    context: SearchContext,
+    *,
+    branching: str,
+    use_core_pruning: bool,
+    kernel: str,
+    prepared: Optional[PreparedGraph],
+    order_name: Optional[str],
+    options: "_verify.ParallelVerifyOptions",
+) -> bool:
+    """The parallel S3 dispatcher (see module docstring).
+
+    Returns ``True`` when the stage was handled end to end — including
+    any internal degradation to the serial loop — and ``False`` to
+    decline, in which case :func:`repro.mbb.verify.verify_mbb` runs its
+    serial loop as if no verifier were registered.  Declines when the
+    family is below the threshold, no snapshot/order travelled with the
+    call, a node budget is set (slicing a deterministic node budget
+    across racing processes is undefined), this process is itself a pool
+    worker (daemonic workers may not spawn children), or the platform
+    refuses a pool.
+    """
+    if prepared is None or order_name is None:
+        return False
+    if len(ordered) < max(options.threshold, 1):
+        return False
+    if context.node_budget is not None:
+        return False
+    if multiprocessing.parent_process() is not None:
+        return False
+    workers = options.workers if options.workers is not None else os.cpu_count() or 1
+    workers = min(workers, len(ordered))
+    if workers < 2:
+        return False
+    try:
+        from repro.api.engine import _PREPARED_EXPORTS
+
+        handle = _PREPARED_EXPORTS.export(prepared)
+    except Exception:
+        # Shared-memory pressure: the stage is an optimisation, run serial.
+        return False
+    pool_state = _ensure_pool(workers)
+    if pool_state is None:
+        return False
+    pool, channel = pool_state
+
+    stats = context.stats
+    stats.s3_parallel_workers = max(stats.s3_parallel_workers, workers)
+    strict = bool(options.strict)
+    generation = channel.begin(context.best_side)
+    queue: Deque[_Chunk] = deque(_chunk_schedule(ordered, workers))
+    window = workers * 2
+    pending: Dict[object, _Chunk] = {}
+    degraded: List[_Chunk] = []
+    pruned_chunks: List[_Chunk] = []
+    strict_improvements: List[Tuple[int, Tuple[object, ...], Tuple[object, ...]]] = []
+    tag_prefix = f"s3:{handle.fingerprint[:12]}"
+    rebuilds = 0
+    aborted = False
+
+    previous_channel = context.shared_best_side
+    previous_floor = context.incumbent_floor
+    if not strict:
+        # The parent context joins the broadcast loop: its checkpoint
+        # polls worker-published bounds (pruning queued chunks earlier)
+        # and witnesses applied from task results publish back.
+        context.shared_best_side = channel.best
+
+    def submit_ready() -> None:
+        while queue and len(pending) < window:
+            chunk = queue[0]
+            if chunk.bound <= context.best_side:
+                # Hardest-first: every later chunk is bounded by this
+                # one, so the whole remainder is pruned by the incumbent.
+                # The chunks are kept: should the pruning bound turn out
+                # to be an unconfirmed broadcast (its witness lost to a
+                # worker failure), the recheck pass below re-runs them.
+                while queue:
+                    pruned = queue.popleft()
+                    stats.s3_pruned_by_broadcast += len(pruned.subs)
+                    pruned_chunks.append(pruned)
+                return
+            queue.popleft()
+            task = (
+                generation,
+                handle.name,
+                handle.fingerprint,
+                order_name,
+                chunk.positions,
+                chunk.bounds,
+                context.best_side,
+                branching,
+                use_core_pruning,
+                kernel,
+                strict,
+                context.remaining_wall_seconds(),
+                f"{tag_prefix}:{chunk.index}",
+            )
+            pending[pool.submit(_run_s3_task, task)] = chunk
+            stats.s3_tasks += 1
+
+    def consume(future: object, chunk: _Chunk) -> Optional[_Chunk]:
+        """Apply one finished task; returns the chunk if the pool died."""
+        nonlocal aborted
+        try:
+            outcome = future.result()  # type: ignore[attr-defined]
+        except BrokenProcessPool:
+            return chunk
+        except Exception:
+            degraded.append(chunk)
+            return None
+        status = outcome[0]
+        if status != _TASK_OK:
+            # Stale generation, failed attach or a fault-boundary error:
+            # the parent re-runs these subgraphs through the serial loop.
+            degraded.append(chunk)
+            return None
+        _status, improvements, stats_dict, worker_aborted = outcome
+        if stats_dict:
+            stats.merge(SearchStats(**stats_dict))
+        if strict:
+            strict_improvements.extend(improvements)
+        else:
+            for _position, left, right in improvements:
+                # adopt_witness, not offer: the parent's floor very
+                # likely echoes this same witness's broadcast, and offer
+                # would reject the vertices behind its own bound.
+                context.adopt_witness(left, right)
+        if worker_aborted:
+            # The worker ran out of wall clock; the parent shares the
+            # same deadline, so finish the stage as aborted rather than
+            # racing the clock with more submissions.
+            aborted = True
+        return None
+
+    try:
+        submit_ready()
+        while pending:
+            done, _not_done = wait(
+                set(pending), timeout=_POLL_SECONDS, return_when=FIRST_COMPLETED
+            )
+            try:
+                context.checkpoint()
+            except SearchAborted:
+                aborted = True
+            crashed: List[_Chunk] = []
+            for future in done:
+                chunk = pending.pop(future)
+                dead = consume(future, chunk)
+                if dead is not None:
+                    crashed.append(dead)
+            if crashed:
+                # A worker died (BrokenProcessPool): every other pending
+                # future is poisoned with the same exception — drain any
+                # real results that beat the crash, then rebuild or
+                # degrade the rest.
+                for future in list(pending):
+                    chunk = pending.pop(future)
+                    dead = consume(future, chunk)
+                    if dead is not None:
+                        crashed.append(dead)
+                _discard_pool()
+                rebuilds += 1
+                stats.pool_rebuilds += 1
+                if aborted or rebuilds > options.max_pool_rebuilds:
+                    degraded.extend(crashed)
+                    degraded.extend(queue)
+                    queue.clear()
+                    break
+                pool_state = _ensure_pool(workers)
+                if pool_state is None:
+                    degraded.extend(crashed)
+                    degraded.extend(queue)
+                    queue.clear()
+                    break
+                pool, channel_again = pool_state
+                assert channel_again is channel
+                queue.extendleft(reversed(sorted(crashed, key=_chunk_order)))
+            if aborted:
+                break
+            submit_ready()
+    finally:
+        context.shared_best_side = previous_channel
+
+    if aborted:
+        # Abort path: stop the world.  The cancel flag reaches running
+        # workers through their checkpoint hooks, and discarding the
+        # pool reclaims any that never poll again (the watchdog
+        # posture); queued chunks are simply dropped — the solve is
+        # best-effort from here.
+        channel.cancel_generation()
+        for future in list(pending):
+            chunk = pending.pop(future)
+            if future.done():  # type: ignore[attr-defined]
+                consume(future, chunk)
+            else:
+                future.cancel()  # type: ignore[attr-defined]
+        _discard_pool()
+        context.aborted = True
+
+    # Strict mode: results are applied in subgraph order, making the
+    # witness independent of scheduling and worker count.  Applied even
+    # on an aborted stage — an incumbent a worker already delivered is
+    # never lost.
+    for _position, left, right in sorted(strict_improvements, key=_improvement_order):
+        context.adopt_witness(left, right)
+
+    # The floor is a pruning device, not a result: if a worker published
+    # a bound and then died before delivering its witness, the floor now
+    # names a size the parent cannot back with vertices.  Clamp to what
+    # the incumbent actually shows *before* any serial re-runs below, so
+    # they never prune against an unconfirmed bound.
+    if context.incumbent_floor > context.best.side_size:
+        context.incumbent_floor = max(previous_floor, context.best.side_size)
+
+    if degraded and not aborted:
+        # Degrade-to-serial: re-run every chunk the pool failed to
+        # finish through the exact serial loop, in schedule order, with
+        # whatever incumbent the parallel part established.  This is the
+        # "no lost requests" half of the PR 9 posture applied to S3.
+        remainder = [
+            sub
+            for chunk in sorted(degraded, key=_chunk_order)
+            for sub in chunk.subs
+        ]
+        _verify.verify_serial(
+            remainder,
+            context,
+            branching=branching,
+            use_core_pruning=use_core_pruning,
+            kernel=kernel,
+        )
+
+    if not aborted and not context.aborted:
+        # Recheck net: a chunk pruned against a broadcast bound whose
+        # witness was later lost could still hold the true optimum.  The
+        # floor is clamped to confirmed sizes by now, so on the normal
+        # path (every published bound's witness delivered or re-found by
+        # the degrade pass above) this filter is empty and free.
+        recheck = [
+            chunk
+            for chunk in sorted(pruned_chunks, key=_chunk_order)
+            if chunk.bound > context.best_side
+        ]
+        if recheck:
+            for chunk in recheck:
+                stats.s3_pruned_by_broadcast -= len(chunk.subs)
+            _verify.verify_serial(
+                [sub for chunk in recheck for sub in chunk.subs],
+                context,
+                branching=branching,
+                use_core_pruning=use_core_pruning,
+                kernel=kernel,
+            )
+    return True
+
+
+def _chunk_order(chunk: _Chunk) -> int:
+    """Sort key restoring schedule order over a set of chunks."""
+    return chunk.index
+
+
+def _improvement_order(
+    improvement: Tuple[int, Tuple[object, ...], Tuple[object, ...]]
+) -> int:
+    """Sort key applying strict-mode results in subgraph order."""
+    return improvement[0]
+
+
+# Dependency inversion (RPL007): the kernel-layer verification stage
+# dispatches to this module through a registration hook, mirroring
+# repro.mbb.solver / repro.api.engine.
+_verify.register_parallel_verifier(parallel_verify)

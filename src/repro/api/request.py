@@ -258,6 +258,12 @@ class SolveRequest:
     seed: int = 0
     #: Free-form caller label, echoed back in the report (batch bookkeeping).
     tag: Optional[str] = None
+    #: Fan the sparse framework's verification stage (S3) over a process
+    #: pool with a shared incumbent (``sparse``/``auto`` backends only;
+    #: ``None`` = the backend's default, currently off).  Same result
+    #: size as the serial stage, wall time scales with cores; see
+    #: :mod:`repro.api.parallel`.
+    parallel_s3: Optional[bool] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-dict form with ``None`` fields omitted."""

@@ -50,6 +50,7 @@ HIT_FUNCTION = "hit"
 DESIGNATED_FAULT_MODULES = frozenset(
     {
         "src/repro/api/engine.py",
+        "src/repro/api/parallel.py",
         "src/repro/devtools/faults.py",
     }
 )

@@ -18,6 +18,14 @@ Sub-checks:
   contain ``lambda`` expressions; payloads are expected to be
   picklable/JSON-serialisable values (the engine ships requests as their
   JSON wire form for exactly this reason).
+* **synchronized primitives in payloads** — a ``submit`` argument that
+  constructs ``multiprocessing.Value`` / ``RawValue`` / ``Array`` /
+  ``RawArray`` is flagged: synchronized objects cross the process
+  boundary only through the pool *initializer*'s ``initargs``
+  inheritance (how :class:`repro.api.parallel.IncumbentChannel`
+  travels); pickling one in a payload raises ``RuntimeError: ...
+  should only be shared between processes through inheritance`` at
+  runtime, inside the pool.
 * **cancel hooks** — in library code (``src/repro/``), assigning a
   ``lambda`` (or passing ``cancel_hook=lambda ...``) to
   :attr:`repro.mbb.context.SearchContext.cancel_hook` is flagged: a
@@ -67,6 +75,28 @@ def _contains_lambda(node: ast.AST) -> bool:
 
 #: Callee names that attach a shared-memory segment on the worker side.
 SHM_ATTACH_CALLEES = frozenset({"attach_shared_memory", "from_shm"})
+
+#: Constructors of synchronized/shared-ctypes objects: inheritance-only
+#: transport (pool initializer ``initargs``), never submit payloads.
+SYNCHRONIZED_CTORS = frozenset({"Value", "RawValue", "Array", "RawArray"})
+
+
+def _synchronized_ctor(node: ast.AST) -> str | None:
+    """Name of the first synchronized-primitive constructor called in
+    ``node``'s expression tree, or ``None``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            callee = sub.func
+            name = (
+                callee.id
+                if isinstance(callee, ast.Name)
+                else callee.attr
+                if isinstance(callee, ast.Attribute)
+                else None
+            )
+            if name in SYNCHRONIZED_CTORS:
+                return name
+    return None
 
 
 def _attaches_shared_memory(function: ast.AST) -> bool:
@@ -167,6 +197,16 @@ class PoolSafetyRule(Rule):
                     payload,
                     "submit() payload contains a lambda; payloads must be "
                     "picklable (prefer the JSON wire form)",
+                )
+            ctor = _synchronized_ctor(payload)
+            if ctor is not None:
+                yield self.finding(
+                    ctx,
+                    payload,
+                    f"submit() payload constructs multiprocessing.{ctor}; "
+                    "synchronized primitives cross the process boundary only "
+                    "through the pool initializer's initargs inheritance, "
+                    "never a submit payload",
                 )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,351 @@
+"""Parallel S3: the process-pool verification stage vs the serial loop.
+
+The contract under test (see :mod:`repro.api.parallel`): the parallel
+stage always produces the same incumbent *size* as the serial stage —
+across graph families, kernels, worker counts, injected worker faults
+and pool crashes — and ``strict`` mode reproduces the identical witness
+across worker counts.  Aborts (deadline, cancel hook) stop outstanding
+tasks and report best-effort, never losing a delivered incumbent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api  # noqa: F401  (registers the parallel S3 verifier)
+from repro.api import GraphSpec, MBBEngine, SolveRequest
+from repro.api import parallel
+from repro.devtools import faults
+from repro.devtools.faults import (
+    ACTION_EXIT,
+    ACTION_RAISE,
+    SCOPE_WORKER,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import (
+    random_bipartite,
+    random_power_law_bipartite,
+)
+from repro.graph.prepared import PreparedGraph
+from repro.mbb.bridge import bridge_mbb
+from repro.mbb.context import SearchContext
+from repro.mbb.dense import KERNEL_BITS, KERNEL_SETS
+from repro.mbb.sparse import SparseConfig, hbv_mbb
+from repro.mbb.verify import (
+    ParallelVerifyOptions,
+    schedule_hardest_first,
+    subgraph_hardness,
+    verify_mbb,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    """Chaos hygiene: no armed plan or env-keyed pool outlives a test."""
+    yield
+    faults.disarm()
+    parallel.shutdown()
+
+
+def mixed_label_graph(seed: int) -> BipartiteGraph:
+    """A graph mixing int and str labels (and sharing labels across sides)."""
+    base = random_bipartite(14, 14, 0.35, seed=seed)
+    graph = BipartiteGraph()
+    for u, v in base.edges():
+        left = u if u % 2 == 0 else f"u{u}"
+        right = v if v % 2 == 1 else f"v{v}"
+        graph.add_edge(left, right)
+    return graph
+
+
+GRAPH_FAMILIES = {
+    "random": lambda seed: random_bipartite(40, 40, 0.3, seed=seed),
+    "power_law": lambda seed: random_power_law_bipartite(40, 40, 2.5, seed=seed),
+    "mixed_label": mixed_label_graph,
+}
+
+#: Heuristic off so the verification stage actually receives survivors.
+_SERIAL = SparseConfig(use_heuristic=False)
+
+
+def _parallel_config(**overrides) -> SparseConfig:
+    defaults = dict(
+        use_heuristic=False,
+        parallel_s3=True,
+        parallel_s3_threshold=1,
+        parallel_s3_workers=2,
+    )
+    defaults.update(overrides)
+    return SparseConfig(**defaults)
+
+
+def _surviving_family(graph, *, order="bidegeneracy"):
+    """Bridge with the local heuristic off: a context plus survivors for
+    driving ``verify_mbb`` directly."""
+    context = SearchContext()
+    prepared = PreparedGraph.prepare(graph)
+    bridge = bridge_mbb(
+        graph,
+        context,
+        prepared=prepared,
+        total_order=prepared.search_order(order),
+        use_local_heuristic=False,
+    )
+    return context, prepared, bridge.surviving
+
+
+class TestSchedule:
+    def test_hardest_first_orders_by_descending_bound(self):
+        graph = random_bipartite(30, 30, 0.3, seed=1)
+        _context, _prepared, surviving = _surviving_family(graph)
+        assert len(surviving) >= 2
+        ordered = schedule_hardest_first(surviving)
+        bounds = [sub.min_side for sub in ordered]
+        assert bounds == sorted(bounds, reverse=True)
+        # Deterministic: ties broken by generation position.
+        assert [subgraph_hardness(s) for s in ordered] == sorted(
+            subgraph_hardness(s) for s in surviving
+        )
+
+    def test_serial_stage_consumes_the_shared_schedule(self):
+        # The serial loop and the parallel dispatcher must search the
+        # same subgraph at the same schedule slot: verify_mbb with no
+        # parallel options still reorders hardest-first.
+        graph = random_bipartite(30, 30, 0.3, seed=2)
+        context, _prepared, surviving = _surviving_family(graph)
+        baseline = SearchContext()
+        baseline.offer_biclique(context.best)
+        verify_mbb(list(reversed(surviving)), baseline)
+        other = SearchContext()
+        other.offer_biclique(context.best)
+        verify_mbb(surviving, other)
+        assert baseline.best.side_size == other.best.side_size
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("kernel", [KERNEL_BITS, KERNEL_SETS])
+    @pytest.mark.parametrize("family", sorted(GRAPH_FAMILIES))
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_incumbent_size(self, family, kernel, seed):
+        graph = GRAPH_FAMILIES[family](seed)
+        serial = hbv_mbb(graph, config=SparseConfig(use_heuristic=False, kernel=kernel))
+        par = hbv_mbb(graph, config=_parallel_config(kernel=kernel))
+        strict = hbv_mbb(
+            graph, config=_parallel_config(kernel=kernel, parallel_s3_strict=True)
+        )
+        assert par.side_size == serial.side_size
+        assert strict.side_size == serial.side_size
+        assert par.optimal and strict.optimal and serial.optimal
+
+    def test_dispatch_actually_happens(self):
+        graph = random_bipartite(40, 40, 0.3, seed=0)
+        result = hbv_mbb(graph, config=_parallel_config())
+        assert result.stats.s3_tasks > 0
+        assert result.stats.s3_parallel_workers == 2
+
+    def test_full_config_unaffected_by_default(self):
+        # parallel_s3 defaults off: the stock config never dispatches.
+        graph = random_bipartite(40, 40, 0.3, seed=0)
+        result = hbv_mbb(graph, config=SparseConfig(use_heuristic=False))
+        assert result.stats.s3_tasks == 0
+        assert result.stats.s3_parallel_workers == 0
+
+    def test_node_budget_declines_parallel(self):
+        # Slicing a deterministic node budget across racing processes is
+        # undefined; the dispatcher declines and the serial loop runs.
+        graph = random_bipartite(40, 40, 0.3, seed=3)
+        config = _parallel_config(node_budget=10_000_000)
+        result = hbv_mbb(graph, config=config)
+        assert result.stats.s3_tasks == 0
+
+    def test_strict_witness_identical_across_worker_counts(self):
+        graph = random_bipartite(40, 40, 0.3, seed=5)
+        witnesses = []
+        for workers in (2, 3):
+            result = hbv_mbb(
+                graph,
+                config=_parallel_config(
+                    parallel_s3_workers=workers, parallel_s3_strict=True
+                ),
+            )
+            witnesses.append(
+                (
+                    sorted(result.biclique.left, key=repr),
+                    sorted(result.biclique.right, key=repr),
+                )
+            )
+        assert witnesses[0] == witnesses[1]
+
+
+class TestEngineAndWire:
+    def test_engine_forwards_parallel_s3(self):
+        engine = MBBEngine()
+        spec = GraphSpec.random(40, 40, 0.3, seed=7)
+        serial = engine.solve(SolveRequest(graph=spec, backend="sparse"))
+        par = engine.solve(
+            SolveRequest(graph=spec, backend="sparse", parallel_s3=True)
+        )
+        assert par.side_size == serial.side_size
+        assert set(par.stats) >= {
+            "s3_tasks",
+            "s3_parallel_workers",
+            "incumbent_broadcasts",
+            "s3_pruned_by_broadcast",
+        }
+
+    def test_request_round_trips_parallel_s3(self):
+        spec = GraphSpec.random(5, 5, 0.5, seed=0)
+        on = SolveRequest(graph=spec, parallel_s3=True)
+        off = SolveRequest(graph=spec)
+        assert SolveRequest.from_json(on.to_json()).parallel_s3 is True
+        assert SolveRequest.from_json(off.to_json()).parallel_s3 is None
+
+    def test_dense_backend_rejects_parallel_s3(self):
+        engine = MBBEngine()
+        request = SolveRequest(
+            graph=GraphSpec.random(6, 6, 0.5, seed=0),
+            backend="dense",
+            parallel_s3=True,
+        )
+        with pytest.raises(InvalidParameterError, match="parallel_s3"):
+            engine.solve(request)
+
+
+class TestAbort:
+    def test_cancel_hook_mid_stage_aborts_outstanding_tasks(self):
+        graph = random_bipartite(40, 40, 0.3, seed=1)
+        context, prepared, surviving = _surviving_family(graph)
+        assert len(surviving) >= 2
+        incumbent_before = context.best.side_size
+
+        calls = {"n": 0}
+
+        def cancel_after_first_poll() -> bool:
+            calls["n"] += 1
+            return calls["n"] > 1
+
+        context.cancel_hook = cancel_after_first_poll
+        verify_mbb(
+            surviving,
+            context,
+            prepared=prepared,
+            order_name="bidegeneracy",
+            parallel=ParallelVerifyOptions(workers=2, threshold=1),
+        )
+        assert context.aborted
+        # The incumbent entering the stage is never lost to the abort.
+        assert context.best.side_size >= incumbent_before
+
+    def test_expired_deadline_reports_aborted_best_effort(self):
+        graph = random_bipartite(40, 40, 0.3, seed=2)
+        serial = hbv_mbb(graph, config=_SERIAL)
+        context = SearchContext()
+        context.deadline = 0.0  # expired before the stage starts
+        result = hbv_mbb(graph, config=_parallel_config(), context=context)
+        assert not result.optimal
+        assert result.side_size <= serial.side_size
+
+
+class TestChaos:
+    def _serial_size(self, graph) -> int:
+        return hbv_mbb(graph, config=_SERIAL).side_size
+
+    def test_worker_solve_fault_degrades_to_serial(self, monkeypatch):
+        # Every S3 task raises inside the worker's fault boundary; the
+        # parent re-runs the whole family serially, same answer.
+        graph = random_bipartite(40, 40, 0.3, seed=0)
+        plan = FaultPlan.of(
+            FaultSpec(
+                point="worker.solve",
+                action=ACTION_RAISE,
+                match="s3:",
+                times=64,
+                scope=SCOPE_WORKER,
+            )
+        )
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_env())
+        result = hbv_mbb(graph, config=_parallel_config())
+        assert result.side_size == self._serial_size(graph)
+        assert result.optimal
+        assert result.stats.s3_tasks > 0
+
+    def test_worker_crash_rebuilds_then_recovers(self, monkeypatch):
+        # Each worker process os._exit()s on its first S3 task: the pool
+        # breaks, bounded rebuilds fire, and once the budget is spent the
+        # remainder degrades to the serial loop — same answer, no lost
+        # subgraphs.
+        graph = random_bipartite(40, 40, 0.3, seed=5)
+        plan = FaultPlan.of(
+            FaultSpec(
+                point="worker.solve",
+                action=ACTION_EXIT,
+                match="s3:",
+                scope=SCOPE_WORKER,
+            )
+        )
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_env())
+        result = hbv_mbb(graph, config=_parallel_config())
+        assert result.side_size == self._serial_size(graph)
+        assert result.optimal
+        assert result.stats.pool_rebuilds >= 1
+
+    def test_budgets_still_fire_with_faults_armed(self, monkeypatch):
+        graph = random_bipartite(40, 40, 0.3, seed=6)
+        plan = FaultPlan.of(
+            FaultSpec(
+                point="worker.solve",
+                action=ACTION_RAISE,
+                match="s3:",
+                times=64,
+                scope=SCOPE_WORKER,
+            )
+        )
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_env())
+        context = SearchContext()
+        context.deadline = 0.0
+        result = hbv_mbb(graph, config=_parallel_config(), context=context)
+        assert not result.optimal
+
+
+class TestSharedIncumbentContext:
+    def test_checkpoint_polls_shared_value(self):
+        class _Channel:
+            def __init__(self, value):
+                self.value = value
+
+        context = SearchContext(shared_best_side=_Channel(5), shared_poll_interval=1)
+        context.checkpoint()
+        assert context.best_side == 5
+        assert context.stats.incumbent_broadcasts == 1
+
+    def test_offer_publishes_improvements(self):
+        class _Channel:
+            def __init__(self, value):
+                self.value = value
+
+        channel = _Channel(0)
+        context = SearchContext(shared_best_side=channel)
+        context.offer({"a", "b"}, {"x", "y"})
+        assert channel.value == 2
+
+    def test_adopt_witness_bypasses_unconfirmed_floor(self):
+        # The floor echoes a broadcast of this same witness; offer()
+        # would reject it, adopt_witness() must keep the vertices.
+        context = SearchContext(incumbent_floor=2)
+        assert not context.offer({"a", "b"}, {"x", "y"})
+        assert context.adopt_witness({"a", "b"}, {"x", "y"})
+        assert context.best.side_size == 2
+
+    def test_channel_failures_are_advisory(self):
+        class _Broken:
+            @property
+            def value(self):
+                raise OSError("channel torn down")
+
+        context = SearchContext(shared_best_side=_Broken(), shared_poll_interval=1)
+        context.checkpoint()  # poll swallows the failure
+        context.offer({"a"}, {"x"})  # publish swallows the failure
+        assert context.best.side_size == 1
